@@ -1,0 +1,402 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkFigXX / BenchmarkTabXX target drives the corresponding
+// experiment in internal/experiments at a reduced default scale (the same
+// code path `pqobench -experiment <id>` runs, with -full for paper scale).
+// Reported custom metrics carry each figure's headline number so `go test
+// -bench=.` output doubles as a compact reproduction summary.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/diagram"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// benchRunner is shared across benchmarks: building four database systems
+// plus statistics is setup, not the measured work.
+var (
+	benchOnce   sync.Once
+	benchR      *experiments.Runner
+	benchRErr   error
+	benchConfig = experiments.Config{
+		NumTemplates: 8,
+		M:            120,
+		Seed:         20170514,
+		Orderings:    []workload.Ordering{workload.Random, workload.DecreasingCost},
+	}
+)
+
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchR, benchRErr = experiments.NewRunner(benchConfig)
+	})
+	if benchRErr != nil {
+		b.Fatal(benchRErr)
+	}
+	return benchR
+}
+
+func BenchmarkFig01ExampleWorkload(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NumOpt["SCR2"]), "scr2-numOpt/13")
+		b.ReportMetric(float64(res.NumOpt["PCM2"]), "pcm2-numOpt/13")
+	}
+}
+
+func BenchmarkFig06OptOnceEllipse(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		dists, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dists[0].MSO.P95, "optonce-MSO-p95")
+		b.ReportMetric(dists[1].MSO.P95, "ellipse-MSO-p95")
+	}
+}
+
+func BenchmarkFig07PCM2SCR2(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		dists, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dists[0].MSO.P95, "pcm2-MSO-p95")
+		b.ReportMetric(dists[1].MSO.P95, "scr2-MSO-p95")
+		b.ReportMetric(float64(dists[1].Violations), "scr2-violating-seqs")
+	}
+}
+
+func BenchmarkFig08SCRLambdaTC(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		dists, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(dists[0].TC.Mean, "scr1.1-TC-mean")
+		b.ReportMetric(dists[len(dists)-1].TC.Mean, "scr2-TC-mean")
+	}
+}
+
+func BenchmarkFig09NumOpt(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "SCR2" {
+				b.ReportMetric(row.MeanPct, "scr2-numOpt-%")
+			}
+			if row.Technique == "PCM2" {
+				b.ReportMetric(row.MeanPct, "pcm2-numOpt-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10SCRLambdaNumOpt(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MeanPct, "scr1.1-numOpt-%")
+		b.ReportMetric(rows[len(rows)-1].MeanPct, "scr2-numOpt-%")
+	}
+}
+
+func BenchmarkFig11NumOptVsM(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig11([]int{100, 200, 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Technique == "SCR2" && p.M == 400 {
+				b.ReportMetric(p.OptPct, "scr2-numOpt-%-at-max-m")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12NumOptVsD(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.D == 10 && p.Technique == "SCR2" {
+				b.ReportMetric(p.OptPct, "scr2-numOpt-%-d10")
+			}
+			if p.D == 10 && p.Technique == "PCM2" {
+				b.ReportMetric(p.OptPct, "pcm2-numOpt-%-d10")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13NumPlans(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "SCR2" {
+				b.ReportMetric(row.P95, "scr2-plans-p95")
+			}
+			if row.Technique == "PCM2" {
+				b.ReportMetric(row.P95, "pcm2-plans-p95")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14SCRLambdaNumPlans(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Mean, "scr1.1-plans-mean")
+		b.ReportMetric(rows[len(rows)-1].Mean, "scr2-plans-mean")
+	}
+}
+
+func BenchmarkFig15EasySequences(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, n, err := r.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "easy-sequences")
+		for _, row := range rows {
+			if row.Technique == "SCR2" {
+				b.ReportMetric(row.AvgPlans, "scr2-avg-plans")
+			}
+		}
+	}
+}
+
+func BenchmarkFig16AggMSO(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "SCR2" {
+				b.ReportMetric(row.Mean, "scr2-MSO-mean")
+			}
+		}
+	}
+}
+
+func BenchmarkFig17AggTC(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "SCR2" {
+				b.ReportMetric(row.Mean, "scr2-TC-mean")
+			}
+		}
+	}
+}
+
+func BenchmarkFig18TenDNumOpt(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig18([]int{100, 200, 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Technique == "SCR2" && p.M == 400 {
+				b.ReportMetric(p.OptPct, "scr2-numOpt-%-at-max-m")
+			}
+		}
+	}
+}
+
+func BenchmarkFig19PlanBudget(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig19()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].OptPct, "numOpt-%-k-inf")
+		b.ReportMetric(pts[len(pts)-1].OptPct, "numOpt-%-k2")
+	}
+}
+
+func BenchmarkFig20RandomOrdering(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig20()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "SCR2" {
+				b.ReportMetric(row.P95Pct, "scr2-numOpt-p95-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig21RecostAugmented(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig21()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "Ranges" {
+				b.ReportMetric(row.PlainPlans, "ranges-plans-p95")
+				b.ReportMetric(row.AugPlans, "ranges+RC-plans-p95")
+			}
+		}
+	}
+}
+
+func BenchmarkTab03Execution(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Tab3(120, 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Technique == "SCR1.1" {
+				b.ReportMetric(float64(row.Plans), "scr1.1-plans")
+				b.ReportMetric(float64(row.Total.Milliseconds()), "scr1.1-total-ms")
+			}
+			if row.Technique == "OptAlways" {
+				b.ReportMetric(float64(row.Total.Milliseconds()), "optalways-total-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkAppDDynamicLambda(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.AppD(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].NumPlans), "static-plans")
+		b.ReportMetric(float64(rows[1].NumPlans), "dynamic-plans")
+	}
+}
+
+func BenchmarkAppELambdaR(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.AppE(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Plans), "store-always-plans")
+		b.ReportMetric(float64(rows[2].Plans), "sqrt-lambda-plans")
+	}
+}
+
+func BenchmarkAblationGLOrdering(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.AblationGLOrdering(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].GetPlanRecosts), "naive-recosts")
+		b.ReportMetric(float64(rows[1].GetPlanRecosts), "limit8-recosts")
+	}
+}
+
+func BenchmarkAblationCandidateOrder(b *testing.B) {
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.AblationCandOrder(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].NumOpt), "gl-order-numOpt")
+		b.ReportMetric(float64(rows[len(rows)-1].NumOpt), "l-order32-numOpt")
+	}
+}
+
+func BenchmarkAnorexicReduction(b *testing.B) {
+	// Not a paper figure, but the offline complement of SCR's redundancy
+	// check (Harish et al., cited as [8]): how few plans a 2-d diagram
+	// needs at cost-increase threshold λ=2.
+	r := runner(b)
+	var eng2d *engine.TemplateEngine
+	for _, e := range r.Entries() {
+		if e.Tpl.Dimensions() == 2 {
+			var err error
+			eng2d, err = e.Sys.EngineFor(e.Tpl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			break
+		}
+	}
+	if eng2d == nil {
+		b.Skip("no 2-d template in the bench suite slice")
+	}
+	for i := 0; i < b.N; i++ {
+		d, err := diagram.Build(eng2d, 14, 1e-4, 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red, err := d.Reduce(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(d.NumPlans()), "diagram-plans")
+		b.ReportMetric(float64(red.NumPlans()), "anorexic-plans")
+	}
+}
+
+func BenchmarkHybridOfflineOnline(b *testing.B) {
+	// The paper's §9 future work, implemented: seed SCR from an anorexic
+	// plan-diagram reduction and measure the optimizer-call savings.
+	r := runner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.HybridStudy(120, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].NumOpt), "cold-numOpt")
+		b.ReportMetric(float64(rows[1].NumOpt), "seeded-numOpt")
+	}
+}

@@ -1,0 +1,155 @@
+// Command pqobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pqobench -experiment fig9 [-m 200] [-templates 12] [-seed 1] [-full]
+//	pqobench -experiment all
+//
+// Each experiment prints the same rows/series the corresponding figure or
+// table of the paper reports (see EXPERIMENTS.md for the index). The -full
+// flag switches to paper-scale workloads (all 90 templates, m=1000); the
+// default configuration reproduces the qualitative shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: fig1, fig6-fig21, tab3, appd, appe, ablation, candorder, or 'all'")
+		m          = flag.Int("m", 0, "instances per sequence (0 = default 200; paper uses 1000)")
+		templates  = flag.Int("templates", 12, "number of suite templates (0 = all 90)")
+		seed       = flag.Int64("seed", 0, "random seed (0 = fixed default)")
+		full       = flag.Bool("full", false, "paper-scale run: all templates, m=1000")
+		parallel   = flag.Int("parallel", 1, "sequences run concurrently per technique")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		NumTemplates: *templates,
+		M:            *m,
+		Seed:         *seed,
+		Parallel:     *parallel,
+		Out:          os.Stdout,
+	}
+	if *full {
+		cfg.NumTemplates = 0
+		if cfg.M == 0 {
+			cfg.M = 1000
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("building systems and %d-template suite...\n", cfg.NumTemplates)
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ready in %v (%d templates, m=%d)\n\n",
+		time.Since(start).Round(time.Millisecond), len(r.Entries()), r.Config().M)
+
+	ids := strings.Split(strings.ToLower(*experiment), ",")
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+			"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+			"tab3", "appd", "appe", "ablation", "candorder", "violations", "hybrid"}
+	}
+	for _, id := range ids {
+		if err := run(r, strings.TrimSpace(id)); err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", id, err))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(r *experiments.Runner, id string) error {
+	switch id {
+	case "fig1":
+		_, err := r.Fig1()
+		return err
+	case "fig6":
+		_, err := r.Fig6()
+		return err
+	case "fig7":
+		_, err := r.Fig7()
+		return err
+	case "fig8":
+		_, err := r.Fig8()
+		return err
+	case "fig9":
+		_, err := r.Fig9()
+		return err
+	case "fig10":
+		_, err := r.Fig10()
+		return err
+	case "fig11":
+		_, err := r.Fig11(nil)
+		return err
+	case "fig12":
+		_, err := r.Fig12()
+		return err
+	case "fig13":
+		_, err := r.Fig13()
+		return err
+	case "fig14":
+		_, err := r.Fig14()
+		return err
+	case "fig15":
+		_, _, err := r.Fig15()
+		return err
+	case "fig16":
+		_, err := r.Fig16()
+		return err
+	case "fig17":
+		_, err := r.Fig17()
+		return err
+	case "fig18":
+		_, err := r.Fig18(nil)
+		return err
+	case "fig19":
+		_, err := r.Fig19()
+		return err
+	case "fig20":
+		_, err := r.Fig20()
+		return err
+	case "fig21":
+		_, err := r.Fig21()
+		return err
+	case "tab3":
+		_, err := r.Tab3(0, 0)
+		return err
+	case "appd":
+		_, err := r.AppD(0)
+		return err
+	case "appe":
+		_, err := r.AppE(0)
+		return err
+	case "ablation":
+		_, err := r.AblationGLOrdering(0)
+		return err
+	case "candorder":
+		_, err := r.AblationCandOrder(0)
+		return err
+	case "violations":
+		_, err := r.ViolationStudy(0)
+		return err
+	case "hybrid":
+		_, err := r.HybridStudy(0, 0)
+		return err
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pqobench:", err)
+	os.Exit(1)
+}

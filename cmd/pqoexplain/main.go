@@ -1,0 +1,170 @@
+// Command pqoexplain inspects the optimizer: it prints the chosen plan for
+// a template at given selectivities, or sweeps a 2-d selectivity grid and
+// renders an ASCII plan diagram (the optimality regions whose diversity
+// drives parametric query optimization).
+//
+// Usage:
+//
+//	pqoexplain -list
+//	pqoexplain -template tpch_li_ord_00 -sv 0.01,0.5
+//	pqoexplain -template tpch_li_ord_00 -diagram -grid 24
+//	pqoexplain -catalog tpch -sql "SELECT * FROM lineitem, orders WHERE ..." -sv 0.01,0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	pdiag "repro/internal/diagram"
+	"repro/internal/engine"
+	"repro/internal/sqlparse"
+	"repro/internal/suite"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list suite templates")
+		name     = flag.String("template", "", "template name (see -list)")
+		sqlText  = flag.String("sql", "", "ad-hoc SQL template (with -catalog) instead of -template")
+		catName  = flag.String("catalog", "tpch", "catalog for -sql: tpch, tpcds, rd1, rd2")
+		svArg    = flag.String("sv", "", "comma-separated selectivity vector, e.g. 0.01,0.5")
+		diagram  = flag.Bool("diagram", false, "render a 2-d ASCII plan diagram")
+		anorexic = flag.Float64("anorexic", 0, "with -diagram: also render the λ-reduced (anorexic) diagram")
+		grid     = flag.Int("grid", 20, "plan-diagram grid resolution per axis")
+		seed     = flag.Int64("seed", 20170514, "statistics seed")
+	)
+	flag.Parse()
+
+	systems, err := suite.NewSystems(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := suite.Build(systems)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sqlText != "" {
+		var sys *engine.System
+		switch strings.ToLower(*catName) {
+		case "tpch":
+			sys = systems.TPCH
+		case "tpcds":
+			sys = systems.TPCDS
+		case "rd1":
+			sys = systems.RD1
+		case "rd2":
+			sys = systems.RD2
+		default:
+			fatal(fmt.Errorf("unknown catalog %q", *catName))
+		}
+		tpl, err := sqlparse.Parse("adhoc", *sqlText, sys.Cat)
+		if err != nil {
+			fatal(err)
+		}
+		entries = append(entries, suite.Entry{Tpl: tpl, Sys: sys})
+		*name = "adhoc"
+	}
+
+	if *list {
+		for _, e := range entries {
+			fmt.Printf("%-24s d=%-2d catalog=%-12s %s\n",
+				e.Tpl.Name, e.Tpl.Dimensions(), e.Tpl.Catalog.Name, e.Tpl.SQL())
+		}
+		return
+	}
+	if *name == "" {
+		fatal(fmt.Errorf("need -template (or -list)"))
+	}
+	var entry *suite.Entry
+	for i := range entries {
+		if entries[i].Tpl.Name == *name {
+			entry = &entries[i]
+			break
+		}
+	}
+	if entry == nil {
+		fatal(fmt.Errorf("unknown template %q (use -list)", *name))
+	}
+	eng, err := entry.Sys.EngineFor(entry.Tpl)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *diagram {
+		if entry.Tpl.Dimensions() != 2 {
+			fatal(fmt.Errorf("plan diagrams need a 2-d template; %s has d=%d",
+				entry.Tpl.Name, entry.Tpl.Dimensions()))
+		}
+		d, err := pdiag.Build(eng, *grid, 1e-4, 0.95)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan diagram for %s (%d distinct plans; log scale %g..%g)\n\n%s\n",
+			entry.Tpl.Name, d.NumPlans(), 1e-4, 0.95, indent(d.Render()))
+		if *anorexic > 0 {
+			r, err := d.Reduce(*anorexic)
+			if err != nil {
+				fatal(err)
+			}
+			so, err := r.MaxSubOptimality()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("anorexic reduction at λ=%g: %d → %d plans (max sub-optimality %.3f)\n\n%s\n",
+				*anorexic, d.NumPlans(), r.NumPlans(), so, indent(r.Render()))
+		}
+		return
+	}
+
+	sv, err := parseSV(*svArg, entry.Tpl.Dimensions())
+	if err != nil {
+		fatal(err)
+	}
+	cp, cost, err := eng.Optimize(sv)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("template: %s\nSQL: %s\nsVector: %v\nestimated cost: %.2f\nplan:\n%s",
+		entry.Tpl.Name, entry.Tpl.SQL(), sv, cost, cp.Plan)
+}
+
+func parseSV(arg string, d int) ([]float64, error) {
+	if arg == "" {
+		// Default: mid-range selectivities.
+		sv := make([]float64, d)
+		for i := range sv {
+			sv[i] = 0.1
+		}
+		return sv, nil
+	}
+	parts := strings.Split(arg, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("-sv has %d entries, template needs %d", len(parts), d)
+	}
+	sv := make([]float64, d)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing -sv entry %d: %w", i, err)
+		}
+		sv[i] = v
+	}
+	return sv, nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pqoexplain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,391 @@
+// Package baselines implements the comparison techniques of the paper's
+// evaluation (Table 2): Optimize-Always, Optimize-Once, PCM (the only prior
+// technique with a sub-optimality guarantee), and the heuristic techniques
+// Ellipse, Density and Ranges. It also provides the Recost-augmented
+// variants of Appendix H.6 in which a heuristic technique additionally uses
+// the Recost API for a store-time redundancy check.
+//
+// All techniques implement core.Technique and share the plan/instance
+// bookkeeping of store (store.go).
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// OptAlways optimizes every instance and stores nothing — the paper's
+// numPlans = 0 extreme.
+type OptAlways struct {
+	eng   core.Engine
+	stats core.Stats
+}
+
+// NewOptAlways returns the Optimize-Always baseline.
+func NewOptAlways(eng core.Engine) *OptAlways { return &OptAlways{eng: eng} }
+
+// Name implements core.Technique.
+func (o *OptAlways) Name() string { return "OptAlways" }
+
+// Stats implements core.Technique.
+func (o *OptAlways) Stats() core.Stats { return o.stats }
+
+// Process implements core.Technique.
+func (o *OptAlways) Process(sv []float64) (*core.Decision, error) {
+	o.stats.Instances++
+	cp, _, err := o.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	o.stats.OptCalls++
+	return &core.Decision{Plan: cp, Optimized: true, Via: core.ViaOptimizer}, nil
+}
+
+// OptOnce optimizes the first instance and reuses that plan forever — the
+// paper's numOpt = 1 extreme (plan caching as shipped by commercial
+// systems).
+type OptOnce struct {
+	eng   core.Engine
+	plan  *cachedPlan
+	stats core.Stats
+}
+
+// NewOptOnce returns the Optimize-Once baseline.
+func NewOptOnce(eng core.Engine) *OptOnce { return &OptOnce{eng: eng} }
+
+// Name implements core.Technique.
+func (o *OptOnce) Name() string { return "OptOnce" }
+
+// Stats implements core.Technique.
+func (o *OptOnce) Stats() core.Stats { return o.stats }
+
+// Process implements core.Technique.
+func (o *OptOnce) Process(sv []float64) (*core.Decision, error) {
+	o.stats.Instances++
+	if o.plan != nil {
+		return &core.Decision{Plan: o.plan, Via: core.ViaInference}, nil
+	}
+	cp, _, err := o.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	o.stats.OptCalls++
+	o.stats.MaxPlans, o.stats.CurPlans = 1, 1
+	o.plan = cp
+	return &core.Decision{Plan: cp, Optimized: true, Via: core.ViaOptimizer}, nil
+}
+
+// PCM is the Progressive Parametric Query Optimization "bounded" technique
+// [Bizarro et al.]: the only prior online technique with a guarantee. A new
+// instance qc can reuse a plan when a pair of previously optimized
+// instances (qa, qb) exists such that qa dominates qc dominates qb in the
+// selectivity space (component-wise qa ≤ qc ≤ qb) and their optimal costs
+// are within the λ factor; under plan cost monotonicity, qb's plan is then
+// λ-optimal at qc.
+type PCM struct {
+	lambda       float64
+	redundancyLR float64
+	st           *store
+	stats        core.Stats
+	eng          core.Engine
+}
+
+// NewPCM returns the PCM baseline with sub-optimality parameter lambda.
+func NewPCM(eng core.Engine, lambda float64) (*PCM, error) {
+	if lambda < 1 {
+		return nil, fmt.Errorf("baselines: PCM lambda %v must be >= 1", lambda)
+	}
+	return &PCM{lambda: lambda, st: newStore(), eng: eng}, nil
+}
+
+// Name implements core.Technique.
+func (p *PCM) Name() string { return fmt.Sprintf("PCM(%g)", p.lambda) }
+
+// Stats implements core.Technique.
+func (p *PCM) Stats() core.Stats {
+	st := p.stats
+	st.CurPlans = p.st.numPlans()
+	st.MemoryBytes = p.st.memoryBytes()
+	return st
+}
+
+// Process implements core.Technique.
+func (p *PCM) Process(sv []float64) (*core.Decision, error) {
+	p.stats.Instances++
+	// Find a bounding pair qa ≤ sv ≤ qb with cost(qb) ≤ λ·cost(qa). A pair
+	// exists iff the cheapest dominating instance is within λ of the most
+	// expensive dominated one, so a single O(n) pass suffices (and picks
+	// the tightest pair).
+	var (
+		bestBelow *storedInstance // max-cost instance dominated by sv
+		bestAbove *storedInstance // min-cost instance dominating sv
+	)
+	for _, e := range p.st.instances {
+		p.stats.SelChecks++
+		if dominates(sv, e.sv) && (bestBelow == nil || e.optCost > bestBelow.optCost) {
+			bestBelow = e
+		}
+		if dominates(e.sv, sv) && (bestAbove == nil || e.optCost < bestAbove.optCost) {
+			bestAbove = e
+		}
+	}
+	if bestBelow != nil && bestAbove != nil && bestAbove.optCost <= p.lambda*bestBelow.optCost {
+		bestAbove.uses++
+		return &core.Decision{Plan: bestAbove.cp, Via: core.ViaInference}, nil
+	}
+	cp, c, err := p.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.OptCalls++
+	stored, err := storeOptimized(p.eng, p.st, &p.stats, sv, cp, c, p.redundancyLR)
+	if err != nil {
+		return nil, err
+	}
+	if n := p.st.numPlans(); n > p.stats.MaxPlans {
+		p.stats.MaxPlans = n
+	}
+	return &core.Decision{Plan: stored, Optimized: true, Via: core.ViaOptimizer}, nil
+}
+
+// dominates reports a ≥ b component-wise.
+func dominates(a, b []float64) bool {
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ellipse is the PPQO heuristic: qc can reuse plan P when two optimized
+// instances qa, qb share P as optimal plan and qc lies within the ellipse
+// with foci qa, qb whose major axis is |qa qb|/Δ.
+type Ellipse struct {
+	delta        float64
+	redundancyLR float64
+	st           *store
+	stats        core.Stats
+	eng          core.Engine
+}
+
+// NewEllipse returns the Ellipse baseline with eccentricity parameter
+// delta in (0, 1].
+func NewEllipse(eng core.Engine, delta float64) (*Ellipse, error) {
+	if delta <= 0 || delta > 1 {
+		return nil, fmt.Errorf("baselines: ellipse delta %v must be in (0,1]", delta)
+	}
+	return &Ellipse{delta: delta, st: newStore(), eng: eng}, nil
+}
+
+// Name implements core.Technique.
+func (e *Ellipse) Name() string { return fmt.Sprintf("Ellipse(%g)", e.delta) }
+
+// Stats implements core.Technique.
+func (e *Ellipse) Stats() core.Stats {
+	st := e.stats
+	st.CurPlans = e.st.numPlans()
+	st.MemoryBytes = e.st.memoryBytes()
+	return st
+}
+
+// Process implements core.Technique.
+func (e *Ellipse) Process(sv []float64) (*core.Decision, error) {
+	e.stats.Instances++
+	for _, fp := range e.st.planOrder {
+		insts := e.st.byPlan[fp]
+		for i := 0; i < len(insts); i++ {
+			for j := i + 1; j < len(insts); j++ {
+				e.stats.SelChecks++
+				a, b := insts[i], insts[j]
+				fociDist := euclid(a.sv, b.sv)
+				if fociDist == 0 {
+					continue
+				}
+				if euclid(sv, a.sv)+euclid(sv, b.sv) <= fociDist/e.delta {
+					a.uses++
+					return &core.Decision{Plan: a.cp, Via: core.ViaInference}, nil
+				}
+			}
+		}
+	}
+	cp, c, err := e.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.OptCalls++
+	stored, err := storeOptimized(e.eng, e.st, &e.stats, sv, cp, c, e.redundancyLR)
+	if err != nil {
+		return nil, err
+	}
+	if n := e.st.numPlans(); n > e.stats.MaxPlans {
+		e.stats.MaxPlans = n
+	}
+	return &core.Decision{Plan: stored, Optimized: true, Via: core.ViaOptimizer}, nil
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Density is the parametric plan caching heuristic [Aluç et al.]: qc reuses
+// the plan that a sufficient number (MinNeighbors) of optimized instances
+// in a circular neighborhood agree on with at least Confidence majority.
+type Density struct {
+	radius       float64
+	confidence   float64
+	minNeighbors int
+	redundancyLR float64
+	st           *store
+	stats        core.Stats
+	eng          core.Engine
+}
+
+// NewDensity returns the Density baseline. The paper fixes radius = 0.1 and
+// confidence = 0.5; minNeighbors ("sufficient number of instances") is our
+// choice, default 3 when zero.
+func NewDensity(eng core.Engine, radius, confidence float64, minNeighbors int) (*Density, error) {
+	if radius <= 0 || confidence <= 0 || confidence > 1 {
+		return nil, fmt.Errorf("baselines: density radius %v / confidence %v invalid", radius, confidence)
+	}
+	if minNeighbors <= 0 {
+		minNeighbors = 3
+	}
+	return &Density{radius: radius, confidence: confidence, minNeighbors: minNeighbors,
+		st: newStore(), eng: eng}, nil
+}
+
+// Name implements core.Technique.
+func (d *Density) Name() string { return fmt.Sprintf("Density(r=%g,c=%g)", d.radius, d.confidence) }
+
+// Stats implements core.Technique.
+func (d *Density) Stats() core.Stats {
+	st := d.stats
+	st.CurPlans = d.st.numPlans()
+	st.MemoryBytes = d.st.memoryBytes()
+	return st
+}
+
+// Process implements core.Technique.
+func (d *Density) Process(sv []float64) (*core.Decision, error) {
+	d.stats.Instances++
+	counts := make(map[string]int)
+	reps := make(map[string]*storedInstance)
+	total := 0
+	for _, e := range d.st.instances {
+		d.stats.SelChecks++
+		if euclid(e.sv, sv) <= d.radius {
+			fp := e.cp.Fingerprint()
+			counts[fp]++
+			if reps[fp] == nil {
+				reps[fp] = e
+			}
+			total++
+		}
+	}
+	if total >= d.minNeighbors {
+		bestFP, bestN := "", 0
+		for fp, n := range counts {
+			if n > bestN || (n == bestN && fp < bestFP) {
+				bestFP, bestN = fp, n
+			}
+		}
+		if float64(bestN)/float64(total) >= d.confidence {
+			reps[bestFP].uses++
+			return &core.Decision{Plan: reps[bestFP].cp, Via: core.ViaInference}, nil
+		}
+	}
+	cp, c, err := d.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	d.stats.OptCalls++
+	stored, err := storeOptimized(d.eng, d.st, &d.stats, sv, cp, c, d.redundancyLR)
+	if err != nil {
+		return nil, err
+	}
+	if n := d.st.numPlans(); n > d.stats.MaxPlans {
+		d.stats.MaxPlans = n
+	}
+	return &core.Decision{Plan: stored, Optimized: true, Via: core.ViaOptimizer}, nil
+}
+
+// Ranges models Oracle-style adaptive cursor sharing [Lee & Zait]: each
+// plan's inference region is the minimum bounding rectangle of the
+// optimized instances that chose it, expanded by NearRange in every
+// dimension.
+type Ranges struct {
+	nearRange    float64
+	redundancyLR float64
+	st           *store
+	stats        core.Stats
+	eng          core.Engine
+}
+
+// NewRanges returns the Ranges baseline with the given near-selectivity
+// expansion (the paper uses 0.01).
+func NewRanges(eng core.Engine, nearRange float64) (*Ranges, error) {
+	if nearRange < 0 {
+		return nil, fmt.Errorf("baselines: near range %v must be >= 0", nearRange)
+	}
+	return &Ranges{nearRange: nearRange, st: newStore(), eng: eng}, nil
+}
+
+// Name implements core.Technique.
+func (r *Ranges) Name() string { return fmt.Sprintf("Ranges(%g)", r.nearRange) }
+
+// Stats implements core.Technique.
+func (r *Ranges) Stats() core.Stats {
+	st := r.stats
+	st.CurPlans = r.st.numPlans()
+	st.MemoryBytes = r.st.memoryBytes()
+	return st
+}
+
+// Process implements core.Technique.
+func (r *Ranges) Process(sv []float64) (*core.Decision, error) {
+	r.stats.Instances++
+	for _, fp := range r.st.planOrder {
+		r.stats.SelChecks++
+		insts := r.st.byPlan[fp]
+		if len(insts) == 0 {
+			continue
+		}
+		inside := true
+		for dim := range sv {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, e := range insts {
+				lo = math.Min(lo, e.sv[dim])
+				hi = math.Max(hi, e.sv[dim])
+			}
+			if sv[dim] < lo-r.nearRange || sv[dim] > hi+r.nearRange {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			insts[0].uses++
+			return &core.Decision{Plan: insts[0].cp, Via: core.ViaInference}, nil
+		}
+	}
+	cp, c, err := r.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.OptCalls++
+	stored, err := storeOptimized(r.eng, r.st, &r.stats, sv, cp, c, r.redundancyLR)
+	if err != nil {
+		return nil, err
+	}
+	if n := r.st.numPlans(); n > r.stats.MaxPlans {
+		r.stats.MaxPlans = n
+	}
+	return &core.Decision{Plan: stored, Optimized: true, Via: core.ViaOptimizer}, nil
+}

@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// EnableRedundancy switches on the Appendix H.6 variant for a baseline
+// technique: before storing a newly optimized plan, the technique recosts
+// its existing plans and, if the cheapest is within the λr factor of the
+// new plan's optimal cost, records the instance against that existing plan
+// instead of growing the plan list. It returns an error for invalid λr or
+// unsupported techniques.
+func EnableRedundancy(t core.Technique, lambdaR float64) error {
+	if lambdaR < 1 {
+		return fmt.Errorf("baselines: redundancy lambdaR %v must be >= 1", lambdaR)
+	}
+	switch v := t.(type) {
+	case *PCM:
+		v.redundancyLR = lambdaR
+	case *Ellipse:
+		v.redundancyLR = lambdaR
+	case *Density:
+		v.redundancyLR = lambdaR
+	case *Ranges:
+		v.redundancyLR = lambdaR
+	default:
+		return fmt.Errorf("baselines: %s does not support the redundancy check", t.Name())
+	}
+	return nil
+}
+
+// storeOptimized records an optimized instance in st, applying the H.6
+// redundancy check when lambdaR >= 1. It returns the plan recorded for the
+// instance (the new plan, or the substituted existing plan) and updates the
+// ManageRecosts / RedundantPlansRejected counters.
+func storeOptimized(eng core.Engine, st *store, stats *core.Stats,
+	sv []float64, cp *cachedPlan, optCost, lambdaR float64) (*cachedPlan, error) {
+
+	fp := cp.Fingerprint()
+	_, known := st.byPlan[fp]
+	if lambdaR >= 1 && !known && st.numPlans() > 0 {
+		var (
+			best     *cachedPlan
+			bestCost = math.Inf(1)
+		)
+		for _, existingFP := range st.sortedPlanFPs() {
+			other := st.byPlan[existingFP][0].cp
+			c, err := eng.Recost(other, sv)
+			if err != nil {
+				return nil, err
+			}
+			stats.ManageRecosts++
+			if c < bestCost {
+				best, bestCost = other, c
+			}
+		}
+		if best != nil && bestCost/optCost <= lambdaR {
+			stats.RedundantPlansRejected++
+			st.add(sv, best, optCost)
+			return best, nil
+		}
+	}
+	st.add(sv, cp, optCost)
+	return cp, nil
+}

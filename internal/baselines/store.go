@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// cachedPlan aliases engine.CachedPlan for readability inside this package.
+type cachedPlan = engine.CachedPlan
+
+// storedInstance records one optimized instance and the plan it produced.
+// The existing techniques (unlike SCR) store every optimized instance and
+// never reject or drop plans.
+type storedInstance struct {
+	sv      []float64
+	cp      *cachedPlan
+	optCost float64
+	uses    int64
+}
+
+// store is the trivial plan/instance bookkeeping shared by the baselines:
+// every new plan is kept, nothing is ever dropped (§3, "limitations
+// affecting number of plans required").
+type store struct {
+	instances []*storedInstance
+	byPlan    map[string][]*storedInstance
+	// planOrder preserves first-seen order for deterministic iteration.
+	planOrder []string
+	planMem   map[string]int
+}
+
+func newStore() *store {
+	return &store{byPlan: make(map[string][]*storedInstance), planMem: make(map[string]int)}
+}
+
+func (s *store) add(sv []float64, cp *cachedPlan, optCost float64) *storedInstance {
+	v := make([]float64, len(sv))
+	copy(v, sv)
+	e := &storedInstance{sv: v, cp: cp, optCost: optCost}
+	s.instances = append(s.instances, e)
+	fp := cp.Fingerprint()
+	if _, seen := s.byPlan[fp]; !seen {
+		s.planOrder = append(s.planOrder, fp)
+		s.planMem[fp] = cp.MemoryBytes()
+	}
+	s.byPlan[fp] = append(s.byPlan[fp], e)
+	return e
+}
+
+func (s *store) numPlans() int { return len(s.planOrder) }
+
+func (s *store) memoryBytes() int64 {
+	var m int64
+	for _, b := range s.planMem {
+		m += int64(b)
+	}
+	m += int64(len(s.instances)) * 100
+	return m
+}
+
+// byPlanOrdered returns the per-plan instance lists in a deterministic
+// order (first-seen plan order, which is also sorted-stable for replays).
+func (s *store) byPlanOrdered() map[string][]*storedInstance {
+	// The map itself is returned for range convenience; determinism is
+	// achieved by callers iterating planOrder when order matters. For the
+	// Ellipse scan we return an ordered copy keyed by insertion index.
+	ordered := make(map[string][]*storedInstance, len(s.byPlan))
+	for _, fp := range s.planOrder {
+		ordered[fp] = s.byPlan[fp]
+	}
+	return ordered
+}
+
+// sortedPlanFPs returns plan fingerprints sorted lexicographically.
+func (s *store) sortedPlanFPs() []string {
+	out := make([]string, len(s.planOrder))
+	copy(out, s.planOrder)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,311 @@
+package catalog
+
+import "fmt"
+
+// The built-in catalogs mirror the four databases used in the paper's
+// evaluation: the TPC-H and TPC-DS industry benchmarks and two synthetic
+// "real-world-like" databases (RD1, RD2). Row counts correspond to modest
+// scale factors; what matters for the reproduction is the relative table
+// sizes, the presence/absence of indexes, and column value skew — these
+// drive the plan diagrams the PQO techniques are evaluated on.
+
+// NewTPCH returns a TPC-H-shaped catalog with skewed columns (the paper uses
+// the skewed TPC-H data generator). sf scales base cardinalities; sf=1 gives
+// the canonical 6M-row lineitem.
+func NewTPCH(sf float64) *Catalog {
+	if sf <= 0 {
+		sf = 1
+	}
+	n := func(base float64) int64 {
+		v := int64(base * sf)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c := New(fmt.Sprintf("tpch-sf%g", sf))
+	c.MustAddTable(&Table{
+		Name: "lineitem", Rows: n(6_000_000), RowBytes: 120,
+		Columns: []Column{
+			{Name: "l_orderkey", Min: 0, Max: 1.5e6 * sf, Distinct: n(1_500_000), Dist: Sequential},
+			{Name: "l_partkey", Min: 0, Max: 2e5 * sf, Distinct: n(200_000), Dist: Zipf, Skew: 1.0},
+			{Name: "l_suppkey", Min: 0, Max: 1e4 * sf, Distinct: n(10_000), Dist: Zipf, Skew: 0.8},
+			{Name: "l_quantity", Min: 1, Max: 50, Distinct: 50, Dist: Uniform},
+			{Name: "l_extendedprice", Min: 900, Max: 105000, Distinct: n(1_000_000), Dist: Zipf, Skew: 0.6},
+			{Name: "l_discount", Min: 0, Max: 0.1, Distinct: 11, Dist: Uniform},
+			{Name: "l_shipdate", Min: 0, Max: 2557, Distinct: 2557, Dist: Uniform},
+			{Name: "l_receiptdate", Min: 0, Max: 2587, Distinct: 2587, Dist: Normal},
+		},
+		Indexes: []Index{
+			{Name: "pk_lineitem", Column: "l_orderkey", Clustered: true},
+			{Name: "ix_l_shipdate", Column: "l_shipdate"},
+			{Name: "ix_l_partkey", Column: "l_partkey"},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "orders", Rows: n(1_500_000), RowBytes: 100,
+		Columns: []Column{
+			{Name: "o_orderkey", Min: 0, Max: 1.5e6 * sf, Distinct: n(1_500_000), Dist: Sequential},
+			{Name: "o_custkey", Min: 0, Max: 1.5e5 * sf, Distinct: n(150_000), Dist: Zipf, Skew: 1.0},
+			{Name: "o_totalprice", Min: 850, Max: 560000, Distinct: n(1_000_000), Dist: Zipf, Skew: 0.7},
+			{Name: "o_orderdate", Min: 0, Max: 2405, Distinct: 2405, Dist: Uniform},
+			{Name: "o_shippriority", Min: 0, Max: 4, Distinct: 5, Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_orders", Column: "o_orderkey", Clustered: true},
+			{Name: "ix_o_orderdate", Column: "o_orderdate"},
+			{Name: "ix_o_custkey", Column: "o_custkey"},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer", Rows: n(150_000), RowBytes: 160,
+		Columns: []Column{
+			{Name: "c_custkey", Min: 0, Max: 1.5e5 * sf, Distinct: n(150_000), Dist: Sequential},
+			{Name: "c_nationkey", Min: 0, Max: 24, Distinct: 25, Dist: Zipf, Skew: 0.9},
+			{Name: "c_acctbal", Min: -1000, Max: 10000, Distinct: n(140_000), Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_customer", Column: "c_custkey", Clustered: true},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "part", Rows: n(200_000), RowBytes: 140,
+		Columns: []Column{
+			{Name: "p_partkey", Min: 0, Max: 2e5 * sf, Distinct: n(200_000), Dist: Sequential},
+			{Name: "p_size", Min: 1, Max: 50, Distinct: 50, Dist: Uniform},
+			{Name: "p_retailprice", Min: 900, Max: 2100, Distinct: n(120_000), Dist: Normal},
+		},
+		Indexes: []Index{
+			{Name: "pk_part", Column: "p_partkey", Clustered: true},
+			{Name: "ix_p_size", Column: "p_size"},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "supplier", Rows: n(10_000), RowBytes: 150,
+		Columns: []Column{
+			{Name: "s_suppkey", Min: 0, Max: 1e4 * sf, Distinct: n(10_000), Dist: Sequential},
+			{Name: "s_nationkey", Min: 0, Max: 24, Distinct: 25, Dist: Zipf, Skew: 0.9},
+			{Name: "s_acctbal", Min: -1000, Max: 10000, Distinct: n(9_900), Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_supplier", Column: "s_suppkey", Clustered: true},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "nation", Rows: 25, RowBytes: 120,
+		Columns: []Column{
+			{Name: "n_nationkey", Min: 0, Max: 24, Distinct: 25, Dist: Sequential},
+			{Name: "n_regionkey", Min: 0, Max: 4, Distinct: 5, Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_nation", Column: "n_nationkey", Clustered: true},
+		},
+	})
+	return c
+}
+
+// NewTPCDS returns a TPC-DS-shaped star-schema catalog. sf scales base
+// cardinalities; sf=1 gives the canonical ~2.9M-row store_sales.
+func NewTPCDS(sf float64) *Catalog {
+	if sf <= 0 {
+		sf = 1
+	}
+	n := func(base float64) int64 {
+		v := int64(base * sf)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c := New(fmt.Sprintf("tpcds-sf%g", sf))
+	c.MustAddTable(&Table{
+		Name: "store_sales", Rows: n(2_880_000), RowBytes: 100,
+		Columns: []Column{
+			{Name: "ss_sold_date_sk", Min: 0, Max: 1823, Distinct: 1823, Dist: Uniform},
+			{Name: "ss_item_sk", Min: 0, Max: 18000 * sf, Distinct: n(18_000), Dist: Zipf, Skew: 1.1},
+			{Name: "ss_customer_sk", Min: 0, Max: 100000 * sf, Distinct: n(100_000), Dist: Zipf, Skew: 0.9},
+			{Name: "ss_store_sk", Min: 0, Max: 12, Distinct: 12, Dist: Zipf, Skew: 0.7},
+			{Name: "ss_quantity", Min: 1, Max: 100, Distinct: 100, Dist: Uniform},
+			{Name: "ss_sales_price", Min: 0, Max: 200, Distinct: n(100_000), Dist: Zipf, Skew: 0.8},
+			{Name: "ss_net_profit", Min: -10000, Max: 10000, Distinct: n(500_000), Dist: Normal},
+		},
+		Indexes: []Index{
+			{Name: "ix_ss_sold_date", Column: "ss_sold_date_sk"},
+			{Name: "ix_ss_item", Column: "ss_item_sk"},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "web_sales", Rows: n(720_000), RowBytes: 110,
+		Columns: []Column{
+			{Name: "ws_sold_date_sk", Min: 0, Max: 1823, Distinct: 1823, Dist: Uniform},
+			{Name: "ws_item_sk", Min: 0, Max: 18000 * sf, Distinct: n(18_000), Dist: Zipf, Skew: 1.0},
+			{Name: "ws_bill_customer_sk", Min: 0, Max: 100000 * sf, Distinct: n(100_000), Dist: Zipf, Skew: 0.9},
+			{Name: "ws_quantity", Min: 1, Max: 100, Distinct: 100, Dist: Uniform},
+			{Name: "ws_sales_price", Min: 0, Max: 300, Distinct: n(90_000), Dist: Zipf, Skew: 0.8},
+		},
+		Indexes: []Index{
+			{Name: "ix_ws_sold_date", Column: "ws_sold_date_sk"},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "date_dim", Rows: 73049, RowBytes: 140,
+		Columns: []Column{
+			{Name: "d_date_sk", Min: 0, Max: 73048, Distinct: 73049, Dist: Sequential},
+			{Name: "d_year", Min: 1900, Max: 2100, Distinct: 201, Dist: Uniform},
+			{Name: "d_moy", Min: 1, Max: 12, Distinct: 12, Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_date_dim", Column: "d_date_sk", Clustered: true},
+			{Name: "ix_d_year", Column: "d_year"},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "item", Rows: n(18_000), RowBytes: 280,
+		Columns: []Column{
+			{Name: "i_item_sk", Min: 0, Max: 18000 * sf, Distinct: n(18_000), Dist: Sequential},
+			{Name: "i_current_price", Min: 0.09, Max: 99, Distinct: n(9_900), Dist: Zipf, Skew: 0.6},
+			{Name: "i_category_id", Min: 1, Max: 10, Distinct: 10, Dist: Uniform},
+			{Name: "i_manufact_id", Min: 1, Max: 1000, Distinct: 1000, Dist: Zipf, Skew: 0.5},
+		},
+		Indexes: []Index{
+			{Name: "pk_item", Column: "i_item_sk", Clustered: true},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer", Rows: n(100_000), RowBytes: 180,
+		Columns: []Column{
+			{Name: "c_customer_sk", Min: 0, Max: 100000 * sf, Distinct: n(100_000), Dist: Sequential},
+			{Name: "c_birth_year", Min: 1920, Max: 1992, Distinct: 73, Dist: Normal},
+			{Name: "c_current_addr_sk", Min: 0, Max: 50000 * sf, Distinct: n(50_000), Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_customer", Column: "c_customer_sk", Clustered: true},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer_address", Rows: n(50_000), RowBytes: 160,
+		Columns: []Column{
+			{Name: "ca_address_sk", Min: 0, Max: 50000 * sf, Distinct: n(50_000), Dist: Sequential},
+			{Name: "ca_gmt_offset", Min: -10, Max: -5, Distinct: 6, Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_customer_address", Column: "ca_address_sk", Clustered: true},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "store", Rows: 12, RowBytes: 260,
+		Columns: []Column{
+			{Name: "s_store_sk", Min: 0, Max: 11, Distinct: 12, Dist: Sequential},
+			{Name: "s_number_employees", Min: 200, Max: 300, Distinct: 100, Dist: Uniform},
+		},
+		Indexes: []Index{
+			{Name: "pk_store", Column: "s_store_sk", Clustered: true},
+		},
+	})
+	return c
+}
+
+// NewRD1 returns a synthetic catalog standing in for the paper's 98 GB
+// real-world database RD1: a normalized OLTP-ish schema with many mid-sized
+// relations, suitable for multi-block, multi-join templates whose
+// optimization time is significant.
+func NewRD1() *Catalog {
+	c := New("rd1")
+	sizes := []struct {
+		name string
+		rows int64
+		skew float64
+	}{
+		{"accounts", 4_000_000, 0.9},
+		{"transactions", 20_000_000, 1.1},
+		{"merchants", 300_000, 0.7},
+		{"devices", 1_200_000, 0.8},
+		{"sessions", 9_000_000, 1.0},
+		{"events", 30_000_000, 1.2},
+		{"geo", 45_000, 0.5},
+		{"plans", 600, 0.3},
+	}
+	for i, s := range sizes {
+		t := &Table{
+			Name: s.name, Rows: s.rows, RowBytes: 90 + 10*i,
+			Columns: []Column{
+				{Name: s.name + "_id", Min: 0, Max: float64(s.rows), Distinct: s.rows, Dist: Sequential},
+				{Name: s.name + "_fk", Min: 0, Max: float64(s.rows / 4), Distinct: maxI64(s.rows/4, 1), Dist: Zipf, Skew: s.skew},
+				{Name: s.name + "_ts", Min: 0, Max: 86400 * 365, Distinct: maxI64(s.rows/10, 1), Dist: Uniform},
+				{Name: s.name + "_amount", Min: 0, Max: 1e6, Distinct: maxI64(s.rows/20, 1), Dist: Zipf, Skew: s.skew},
+				{Name: s.name + "_score", Min: 0, Max: 1000, Distinct: 1000, Dist: Normal},
+			},
+			Indexes: []Index{
+				{Name: "pk_" + s.name, Column: s.name + "_id", Clustered: true},
+				{Name: "ix_" + s.name + "_ts", Column: s.name + "_ts"},
+			},
+		}
+		c.MustAddTable(t)
+	}
+	return c
+}
+
+// NewRD2 returns a synthetic catalog standing in for the paper's 780 GB
+// real-world database RD2, which supported high-dimensional templates
+// (d >= 5, up to 10 parameterized predicates): a wide fact table with many
+// filterable attributes plus a ring of dimensions.
+func NewRD2() *Catalog {
+	c := New("rd2")
+	fact := &Table{
+		Name: "facts", Rows: 100_000_000, RowBytes: 200,
+		Columns: []Column{
+			{Name: "f_id", Min: 0, Max: 1e8, Distinct: 100_000_000, Dist: Sequential},
+		},
+		Indexes: []Index{
+			{Name: "pk_facts", Column: "f_id", Clustered: true},
+		},
+	}
+	// Twelve filterable measure/attribute columns with varied distributions,
+	// enough for templates with up to 10 parameterized predicates on the
+	// fact table alone.
+	dists := []Distribution{Uniform, Zipf, Normal, Uniform, Zipf, Zipf, Normal, Uniform, Zipf, Uniform, Normal, Zipf}
+	for i, d := range dists {
+		col := Column{
+			Name:     fmt.Sprintf("f_attr%02d", i),
+			Min:      0,
+			Max:      float64(1000 * (i + 1)),
+			Distinct: int64(10000 * (i + 1)),
+			Dist:     d,
+			Skew:     0.5 + 0.1*float64(i%5),
+		}
+		fact.Columns = append(fact.Columns, col)
+		if i%3 == 0 {
+			fact.Indexes = append(fact.Indexes, Index{Name: fmt.Sprintf("ix_f_attr%02d", i), Column: col.Name})
+		}
+	}
+	for i := 0; i < 6; i++ {
+		fact.Columns = append(fact.Columns, Column{
+			Name: fmt.Sprintf("f_dim%d_fk", i), Min: 0, Max: float64(200_000 * (i + 1)),
+			Distinct: int64(200_000 * (i + 1)), Dist: Zipf, Skew: 0.9,
+		})
+	}
+	c.MustAddTable(fact)
+	for i := 0; i < 6; i++ {
+		rows := int64(200_000 * (i + 1))
+		name := fmt.Sprintf("dim%d", i)
+		c.MustAddTable(&Table{
+			Name: name, Rows: rows, RowBytes: 120,
+			Columns: []Column{
+				{Name: name + "_id", Min: 0, Max: float64(rows), Distinct: rows, Dist: Sequential},
+				{Name: name + "_attr", Min: 0, Max: 5000, Distinct: 5000, Dist: Zipf, Skew: 0.6},
+				{Name: name + "_grade", Min: 0, Max: 100, Distinct: 100, Dist: Normal},
+			},
+			Indexes: []Index{
+				{Name: "pk_" + name, Column: name + "_id", Clustered: true},
+			},
+		})
+	}
+	return c
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+// Package catalog defines database schemas and table-level metadata used by
+// the optimizer, statistics builder, data generator and execution engine.
+//
+// A Catalog is a purely descriptive object: it records tables, columns,
+// indexes and base cardinalities, together with the value distribution of
+// each column. Actual rows are produced by package datagen and histograms by
+// package stats; both consume the distribution descriptors stored here.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distribution identifies the shape of the value distribution of a column.
+type Distribution int
+
+const (
+	// Uniform values are spread evenly across [Min, Max].
+	Uniform Distribution = iota
+	// Zipf values are skewed towards Min with exponent Skew.
+	Zipf
+	// Normal values cluster around the midpoint of [Min, Max].
+	Normal
+	// Sequential values are a dense sequence 0..Rows-1 (typical keys).
+	Sequential
+)
+
+// String returns the distribution name.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	case Normal:
+		return "normal"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// Column describes a single (numeric) attribute of a table.
+//
+// All columns are modeled as float64-valued. This is sufficient for the
+// reproduction: the paper's parameterized predicates are one-sided range
+// predicates over ordered domains, and ordered numeric domains capture the
+// selectivity behaviour of dates, keys and amounts alike.
+type Column struct {
+	Name     string
+	Min, Max float64
+	Distinct int64
+	Dist     Distribution
+	// Skew is the Zipf exponent; ignored for other distributions.
+	Skew float64
+}
+
+// Index describes a secondary or clustered index on a prefix of columns.
+type Index struct {
+	Name      string
+	Column    string
+	Clustered bool
+}
+
+// Table describes a base relation.
+type Table struct {
+	Name     string
+	Rows     int64
+	RowBytes int
+	Columns  []Column
+	Indexes  []Index
+}
+
+// Column returns the named column, or nil if the table has no such column.
+func (t *Table) Column(name string) *Column {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// HasIndex reports whether an index exists whose key is the given column.
+func (t *Table) HasIndex(column string) bool {
+	for _, ix := range t.Indexes {
+		if ix.Column == column {
+			return true
+		}
+	}
+	return false
+}
+
+// Pages returns the number of disk pages occupied by the table, assuming the
+// conventional 8 KiB page size.
+func (t *Table) Pages() float64 {
+	const pageBytes = 8192
+	p := float64(t.Rows) * float64(t.RowBytes) / pageBytes
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	Name   string
+	tables map[string]*Table
+}
+
+// New returns an empty catalog with the given name.
+func New(name string) *Catalog {
+	return &Catalog{Name: name, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. It returns an error if a table with the same
+// name is already present or if the definition is inconsistent.
+func (c *Catalog) AddTable(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog %s: table with empty name", c.Name)
+	}
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("catalog %s: duplicate table %s", c.Name, t.Name)
+	}
+	if t.Rows <= 0 {
+		return fmt.Errorf("catalog %s: table %s has non-positive row count %d", c.Name, t.Name, t.Rows)
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog %s: table %s has no columns", c.Name, t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		if col.Name == "" {
+			return fmt.Errorf("catalog %s: table %s has a column with empty name", c.Name, t.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog %s: table %s has duplicate column %s", c.Name, t.Name, col.Name)
+		}
+		seen[col.Name] = true
+		if col.Max < col.Min {
+			return fmt.Errorf("catalog %s: table %s column %s has Max < Min", c.Name, t.Name, col.Name)
+		}
+		if col.Distinct <= 0 {
+			return fmt.Errorf("catalog %s: table %s column %s has non-positive distinct count", c.Name, t.Name, col.Name)
+		}
+	}
+	for _, ix := range t.Indexes {
+		if !seen[ix.Column] {
+			return fmt.Errorf("catalog %s: table %s index %s references unknown column %s",
+				c.Name, t.Name, ix.Name, ix.Column)
+		}
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// MustAddTable is AddTable but panics on error; intended for the built-in
+// catalog constructors whose definitions are statically known to be valid.
+func (c *Catalog) MustAddTable(t *Table) {
+	if err := c.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the named table, or nil if absent.
+func (c *Catalog) Table(name string) *Table {
+	return c.tables[name]
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NumTables returns the number of tables in the catalog.
+func (c *Catalog) NumTables() int { return len(c.tables) }

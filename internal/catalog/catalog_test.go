@@ -1,0 +1,186 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddTableValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		table   *Table
+		wantErr string
+	}{
+		{
+			name:    "empty name",
+			table:   &Table{Rows: 1, Columns: []Column{{Name: "a", Max: 1, Distinct: 1}}},
+			wantErr: "empty name",
+		},
+		{
+			name:    "non-positive rows",
+			table:   &Table{Name: "t", Rows: 0, Columns: []Column{{Name: "a", Max: 1, Distinct: 1}}},
+			wantErr: "non-positive row count",
+		},
+		{
+			name:    "no columns",
+			table:   &Table{Name: "t", Rows: 1},
+			wantErr: "no columns",
+		},
+		{
+			name: "duplicate column",
+			table: &Table{Name: "t", Rows: 1, Columns: []Column{
+				{Name: "a", Max: 1, Distinct: 1}, {Name: "a", Max: 1, Distinct: 1},
+			}},
+			wantErr: "duplicate column",
+		},
+		{
+			name: "max below min",
+			table: &Table{Name: "t", Rows: 1, Columns: []Column{
+				{Name: "a", Min: 5, Max: 1, Distinct: 1},
+			}},
+			wantErr: "Max < Min",
+		},
+		{
+			name: "bad distinct",
+			table: &Table{Name: "t", Rows: 1, Columns: []Column{
+				{Name: "a", Max: 1, Distinct: 0},
+			}},
+			wantErr: "distinct",
+		},
+		{
+			name: "index on unknown column",
+			table: &Table{Name: "t", Rows: 1,
+				Columns: []Column{{Name: "a", Max: 1, Distinct: 1}},
+				Indexes: []Index{{Name: "ix", Column: "zzz"}},
+			},
+			wantErr: "unknown column",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New("test")
+			err := c.AddTable(tc.table)
+			if err == nil {
+				t.Fatalf("AddTable(%v) succeeded, want error containing %q", tc.table, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("AddTable error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAddTableDuplicate(t *testing.T) {
+	c := New("test")
+	tab := &Table{Name: "t", Rows: 10, Columns: []Column{{Name: "a", Max: 1, Distinct: 1}}}
+	if err := c.AddTable(tab); err != nil {
+		t.Fatalf("first AddTable: %v", err)
+	}
+	if err := c.AddTable(tab); err == nil {
+		t.Fatal("second AddTable of same name succeeded, want duplicate error")
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	c := NewTPCH(0.01)
+	li := c.Table("lineitem")
+	if li == nil {
+		t.Fatal("lineitem missing from TPCH catalog")
+	}
+	if col := li.Column("l_shipdate"); col == nil {
+		t.Error("l_shipdate column missing")
+	}
+	if col := li.Column("no_such"); col != nil {
+		t.Errorf("Column(no_such) = %v, want nil", col)
+	}
+	if !li.HasIndex("l_shipdate") {
+		t.Error("expected index on l_shipdate")
+	}
+	if li.HasIndex("l_discount") {
+		t.Error("unexpected index on l_discount")
+	}
+	if c.Table("bogus") != nil {
+		t.Error("Table(bogus) should be nil")
+	}
+}
+
+func TestPagesAtLeastOne(t *testing.T) {
+	tiny := &Table{Name: "tiny", Rows: 1, RowBytes: 8}
+	if got := tiny.Pages(); got != 1 {
+		t.Errorf("Pages() = %v, want 1 for tiny table", got)
+	}
+	big := &Table{Name: "big", Rows: 1_000_000, RowBytes: 100}
+	if got := big.Pages(); got <= 1000 {
+		t.Errorf("Pages() = %v, want > 1000 for 100MB table", got)
+	}
+}
+
+func TestBuiltinCatalogsWellFormed(t *testing.T) {
+	cats := []*Catalog{NewTPCH(1), NewTPCH(0), NewTPCDS(1), NewTPCDS(0), NewRD1(), NewRD2()}
+	for _, c := range cats {
+		if c.NumTables() == 0 {
+			t.Errorf("catalog %s has no tables", c.Name)
+		}
+		for _, tab := range c.Tables() {
+			if tab.Rows <= 0 {
+				t.Errorf("%s.%s has %d rows", c.Name, tab.Name, tab.Rows)
+			}
+			if len(tab.Columns) == 0 {
+				t.Errorf("%s.%s has no columns", c.Name, tab.Name)
+			}
+		}
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c := NewTPCDS(1)
+	tabs := c.Tables()
+	for i := 1; i < len(tabs); i++ {
+		if tabs[i-1].Name >= tabs[i].Name {
+			t.Fatalf("Tables() not sorted: %s before %s", tabs[i-1].Name, tabs[i].Name)
+		}
+	}
+}
+
+func TestScaleFactorScalesRows(t *testing.T) {
+	small := NewTPCH(0.01)
+	big := NewTPCH(1)
+	if small.Table("lineitem").Rows >= big.Table("lineitem").Rows {
+		t.Error("scale factor did not scale lineitem rows")
+	}
+	// Fixed-size tables must not scale.
+	if small.Table("nation").Rows != big.Table("nation").Rows {
+		t.Error("nation should not scale with sf")
+	}
+}
+
+func TestRD2SupportsHighDimensionalTemplates(t *testing.T) {
+	c := NewRD2()
+	f := c.Table("facts")
+	if f == nil {
+		t.Fatal("facts table missing")
+	}
+	attrs := 0
+	for _, col := range f.Columns {
+		if strings.HasPrefix(col.Name, "f_attr") {
+			attrs++
+		}
+	}
+	if attrs < 10 {
+		t.Errorf("facts has %d filterable attrs, want >= 10 for d=10 templates", attrs)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	want := map[Distribution]string{
+		Uniform: "uniform", Zipf: "zipf", Normal: "normal", Sequential: "sequential",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+	if got := Distribution(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown distribution String() = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LambdaAdvisor implements §6.2's "Choosing λ" proposal: run
+// Optimize-Always for a small initial subset of query instances, observe
+// the ratio between average optimization overhead and average execution
+// cost, and derive a suitable λ — a query whose optimization overhead is
+// large relative to its execution cost can afford a loose bound (large λ,
+// aggressive reuse), while a query dominated by execution cost should use a
+// tight bound.
+//
+// Overheads and costs are in the same abstract unit (the caller converts
+// wall-clock optimization time via a cost calibration, or supplies
+// optimizer-estimated costs directly).
+type LambdaAdvisor struct {
+	// MinLambda and MaxLambda bound the recommendation; zero values select
+	// 1.05 and 2.0 (the λ range the paper evaluates).
+	MinLambda, MaxLambda float64
+
+	optOverheads []float64
+	execCosts    []float64
+}
+
+// Observe records one optimized instance: its optimization overhead and
+// its (estimated) execution cost.
+func (a *LambdaAdvisor) Observe(optOverhead, execCost float64) error {
+	if optOverhead < 0 || execCost <= 0 ||
+		math.IsNaN(optOverhead) || math.IsNaN(execCost) ||
+		math.IsInf(optOverhead, 0) || math.IsInf(execCost, 0) {
+		return fmt.Errorf("core: invalid observation (opt=%v, exec=%v)", optOverhead, execCost)
+	}
+	a.optOverheads = append(a.optOverheads, optOverhead)
+	a.execCosts = append(a.execCosts, execCost)
+	return nil
+}
+
+// N returns the number of observations.
+func (a *LambdaAdvisor) N() int { return len(a.optOverheads) }
+
+// Ratio returns the observed ratio of average optimization overhead to
+// average execution cost.
+func (a *LambdaAdvisor) Ratio() (float64, error) {
+	if len(a.optOverheads) == 0 {
+		return 0, fmt.Errorf("core: no observations")
+	}
+	var so, se float64
+	for i := range a.optOverheads {
+		so += a.optOverheads[i]
+		se += a.execCosts[i]
+	}
+	return so / se, nil
+}
+
+// Recommend maps the observed overhead ratio to a λ in [MinLambda,
+// MaxLambda]: ratio 0 (optimization free) → MinLambda; ratio ≥ 1
+// (optimization as expensive as execution) → MaxLambda; in between, λ
+// interpolates on a square-root scale so moderate overheads already earn
+// meaningful reuse latitude.
+func (a *LambdaAdvisor) Recommend() (float64, error) {
+	lo, hi := a.MinLambda, a.MaxLambda
+	if lo == 0 {
+		lo = 1.05
+	}
+	if hi == 0 {
+		hi = 2.0
+	}
+	if lo < 1 || hi < lo {
+		return 0, fmt.Errorf("core: invalid advisor range [%v, %v]", lo, hi)
+	}
+	ratio, err := a.Ratio()
+	if err != nil {
+		return 0, err
+	}
+	t := math.Sqrt(math.Min(ratio, 1))
+	return lo + t*(hi-lo), nil
+}
+
+// RecommendDynamic suggests an Appendix D dynamic-λ configuration: the
+// static recommendation becomes the tight end (expensive instances), the
+// loose end opens up by the overhead ratio, and the decay reference is the
+// median observed execution cost.
+func (a *LambdaAdvisor) RecommendDynamic() (*DynamicLambda, error) {
+	base, err := a.Recommend()
+	if err != nil {
+		return nil, err
+	}
+	ratio, err := a.Ratio()
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(a.execCosts))
+	copy(costs, a.execCosts)
+	sort.Float64s(costs)
+	ref := costs[len(costs)/2]
+	// The loose end grows with the overhead ratio, capped at 10 (the
+	// Appendix D experiment's λmax).
+	maxL := base * (1 + 4*math.Min(ratio, 1))
+	if maxL > 10 {
+		maxL = 10
+	}
+	if maxL < base {
+		maxL = base
+	}
+	return &DynamicLambda{Min: base, Max: maxL, RefCost: ref}, nil
+}

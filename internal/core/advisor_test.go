@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pqotest"
+)
+
+func TestAdvisorObservationValidation(t *testing.T) {
+	var a LambdaAdvisor
+	for _, bad := range [][2]float64{
+		{-1, 1}, {1, 0}, {1, -2}, {math.NaN(), 1}, {1, math.NaN()}, {math.Inf(1), 1},
+	} {
+		if err := a.Observe(bad[0], bad[1]); err == nil {
+			t.Errorf("Observe(%v, %v) should fail", bad[0], bad[1])
+		}
+	}
+	if a.N() != 0 {
+		t.Errorf("invalid observations were recorded: N=%d", a.N())
+	}
+	if _, err := a.Ratio(); err == nil {
+		t.Error("Ratio without observations should fail")
+	}
+	if _, err := a.Recommend(); err == nil {
+		t.Error("Recommend without observations should fail")
+	}
+}
+
+func TestAdvisorRecommendationScales(t *testing.T) {
+	// Free optimization → tight bound; optimization-dominated → loose.
+	var cheap LambdaAdvisor
+	for i := 0; i < 10; i++ {
+		if err := cheap.Observe(0.001, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, err := cheap.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expensive LambdaAdvisor
+	for i := 0; i < 10; i++ {
+		if err := expensive.Observe(150, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hi, err := expensive.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Errorf("cheap-optimization λ %v not below expensive-optimization λ %v", lo, hi)
+	}
+	if lo < 1.05-1e-9 || hi > 2.0+1e-9 {
+		t.Errorf("recommendations [%v, %v] outside default bounds [1.05, 2]", lo, hi)
+	}
+	// Ratio ≥ 1 saturates at MaxLambda.
+	if math.Abs(hi-2.0) > 1e-9 {
+		t.Errorf("saturated recommendation = %v, want 2.0", hi)
+	}
+}
+
+func TestAdvisorCustomRange(t *testing.T) {
+	a := LambdaAdvisor{MinLambda: 1.2, MaxLambda: 5}
+	if err := a.Observe(50, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.2 || got > 5 {
+		t.Errorf("recommendation %v outside [1.2, 5]", got)
+	}
+	bad := LambdaAdvisor{MinLambda: 0.5, MaxLambda: 2}
+	bad.Observe(1, 1)
+	if _, err := bad.Recommend(); err == nil {
+		t.Error("MinLambda < 1 should fail")
+	}
+}
+
+func TestAdvisorDynamicRecommendation(t *testing.T) {
+	var a LambdaAdvisor
+	for i := 1; i <= 9; i++ {
+		if err := a.Observe(40, float64(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := a.RecommendDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Min < 1 || d.Max < d.Min {
+		t.Errorf("dynamic range [%v, %v] invalid", d.Min, d.Max)
+	}
+	if d.Max > 10 {
+		t.Errorf("dynamic max %v exceeds the cap", d.Max)
+	}
+	if d.RefCost != 500 {
+		t.Errorf("RefCost = %v, want median 500", d.RefCost)
+	}
+	// The recommendation must be accepted by NewSCR.
+	rng := rand.New(rand.NewSource(1))
+	eng, err := pqotest.RandomEngine(rng, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSCR(eng, Config{Lambda: d.Min, Dynamic: d}); err != nil {
+		t.Errorf("advisor-recommended config rejected: %v", err)
+	}
+}
+
+func TestScanOrderReducesScanLength(t *testing.T) {
+	// With a skewed instance distribution, ordering the instance list by
+	// usage should reduce selectivity-check scans per instance relative to
+	// insertion order.
+	run := func(order ScanOrder) (selChecks, instances int64) {
+		rng := rand.New(rand.NewSource(55))
+		eng, err := pqotest.RandomEngine(rng, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSCR(eng, Config{Lambda: 2, Scan: order, StoreAlways: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRng := rand.New(rand.NewSource(66))
+		// Phase 1: diverse cold traffic populates the instance list with
+		// many entries that arrive BEFORE the hot cluster's entry.
+		for i := 0; i < 120; i++ {
+			if _, err := s.Process(pqotest.RandomSVector(seqRng, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Phase 2: traffic concentrates on one hot point; insertion order
+		// must scan every cold entry first, usage order promotes the hot
+		// entry to the front after the first re-sort.
+		hot := []float64{0.31, 0.42}
+		for i := 0; i < 500; i++ {
+			sv := []float64{
+				math.Min(1, hot[0]*(0.98+0.04*seqRng.Float64())),
+				math.Min(1, hot[1]*(0.98+0.04*seqRng.Float64())),
+			}
+			if _, err := s.Process(sv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := s.Stats()
+		return st.SelChecks, st.Instances
+	}
+	baseChecks, n1 := run(ScanInsertion)
+	usageChecks, n2 := run(ScanByUsage)
+	areaChecks, n3 := run(ScanByArea)
+	if n1 != n2 || n2 != n3 {
+		t.Fatalf("instance counts differ: %d %d %d", n1, n2, n3)
+	}
+	if usageChecks > baseChecks {
+		t.Errorf("usage-ordered scan did %d checks, insertion order %d; expected fewer or equal",
+			usageChecks, baseChecks)
+	}
+	t.Logf("selectivity-check scans: insertion=%d by-usage=%d by-area=%d",
+		baseChecks, usageChecks, areaChecks)
+}
+
+func TestScanOrderString(t *testing.T) {
+	for o, want := range map[ScanOrder]string{
+		ScanInsertion: "insertion", ScanByArea: "by-area", ScanByUsage: "by-usage",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+	if ScanOrder(9).String() != "scan-order(?)" {
+		t.Error("unknown scan order string")
+	}
+}
+
+func TestScanOrderPreservesGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	eng, err := pqotest.RandomEngine(rng, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []ScanOrder{ScanByArea, ScanByUsage} {
+		s, err := NewSCR(eng, Config{Lambda: 2, Scan: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			sv := pqotest.RandomSVector(rng, 3)
+			dec, err := s.Process(sv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			so := eng.PlanCost(dec.Plan, sv) / eng.OptimalCost(sv)
+			if so > 2*(1+1e-9) {
+				t.Fatalf("scan order %v: SO=%v exceeds λ=2", order, so)
+			}
+		}
+	}
+}

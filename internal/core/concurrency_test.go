@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pqotest"
+)
+
+// TestConcurrentProcess hammers one SCR instance from many goroutines: the
+// plan cache must stay consistent (no races — run with -race), the
+// guarantee must hold for every decision, and counters must add up.
+func TestConcurrentProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	eng, err := pqotest.RandomEngine(rng, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		perG    = 150
+	)
+	// Pre-generate instance streams (the rng is not goroutine-safe).
+	streams := make([][][]float64, workers)
+	for w := range streams {
+		streams[w] = make([][]float64, perG)
+		for i := range streams[w] {
+			streams[w][i] = pqotest.RandomSVector(rng, 3)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	sos := make(chan float64, workers*perG)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stream [][]float64) {
+			defer wg.Done()
+			for _, sv := range stream {
+				dec, err := s.Process(sv)
+				if err != nil {
+					errs <- err
+					return
+				}
+				sos <- eng.PlanCost(dec.Plan, sv) / eng.OptimalCost(sv)
+			}
+		}(streams[w])
+	}
+	wg.Wait()
+	close(errs)
+	close(sos)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n := 0
+	for so := range sos {
+		n++
+		if so > 2*(1+1e-9) {
+			t.Errorf("concurrent decision with SO=%v exceeds λ=2", so)
+		}
+	}
+	if n != workers*perG {
+		t.Fatalf("processed %d instances, want %d", n, workers*perG)
+	}
+	st := s.Stats()
+	if st.Instances != int64(workers*perG) {
+		t.Errorf("Instances counter = %d, want %d", st.Instances, workers*perG)
+	}
+	if st.OptCalls == 0 || st.OptCalls > st.Instances {
+		t.Errorf("OptCalls = %d out of range (0, %d]", st.OptCalls, st.Instances)
+	}
+	if st.CurPlans == 0 {
+		t.Error("no plans cached after stress run")
+	}
+}
+
+// TestConcurrentProcessWithBudgetAndSweep interleaves Process calls with
+// the Appendix F sweep and stat reads under a plan budget.
+func TestConcurrentProcessWithBudgetAndSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	eng, err := pqotest.RandomEngine(rng, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSCR(eng, Config{Lambda: 1.5, PlanBudget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([][][]float64, 4)
+	for w := range streams {
+		streams[w] = make([][]float64, 100)
+		for i := range streams[w] {
+			streams[w][i] = pqotest.RandomSVector(rng, 2)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := range streams {
+		wg.Add(1)
+		go func(stream [][]float64) {
+			defer wg.Done()
+			for i, sv := range stream {
+				if _, err := s.Process(sv); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%25 == 0 {
+					if _, err := s.SweepRedundantPlans(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if st := s.Stats(); st.CurPlans > 3 {
+					t.Errorf("plan budget exceeded under concurrency: %d", st.CurPlans)
+					return
+				}
+			}
+		}(streams[w])
+	}
+	wg.Wait()
+}

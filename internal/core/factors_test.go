@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGLFactorsBasics(t *testing.T) {
+	cases := []struct {
+		name     string
+		svE, svC []float64
+		wantG    float64
+		wantL    float64
+	}{
+		{"identical", []float64{0.1, 0.2}, []float64{0.1, 0.2}, 1, 1},
+		{"both up", []float64{0.1, 0.1}, []float64{0.2, 0.3}, 2 * 3, 1},
+		{"both down", []float64{0.4, 0.9}, []float64{0.2, 0.3}, 1, 2 * 3},
+		{"mixed", []float64{0.1, 0.9}, []float64{0.2, 0.3}, 2, 3},
+		{"one dim", []float64{0.5}, []float64{0.25}, 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, l, err := GLFactors(tc.svE, tc.svC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(g-tc.wantG) > 1e-12 || math.Abs(l-tc.wantL) > 1e-12 {
+				t.Errorf("GLFactors = (%v, %v), want (%v, %v)", g, l, tc.wantG, tc.wantL)
+			}
+		})
+	}
+}
+
+func TestGLFactorsErrors(t *testing.T) {
+	if _, _, err := GLFactors([]float64{0.1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	for _, bad := range [][]float64{{0}, {-0.1}, {1.5}, {math.NaN()}} {
+		if _, _, err := GLFactors(bad, []float64{0.5}); err == nil {
+			t.Errorf("svE=%v should fail", bad)
+		}
+		if _, _, err := GLFactors([]float64{0.5}, bad); err == nil {
+			t.Errorf("svC=%v should fail", bad)
+		}
+	}
+}
+
+// Property: G and L are always >= 1, and swapping the two instances swaps
+// the roles of G and L.
+func TestGLFactorsSymmetryProperty(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw, dRaw uint16) bool {
+		svE := []float64{float64(aRaw%999+1) / 1000, float64(bRaw%999+1) / 1000}
+		svC := []float64{float64(cRaw%999+1) / 1000, float64(dRaw%999+1) / 1000}
+		g1, l1, err := GLFactors(svE, svC)
+		if err != nil {
+			return false
+		}
+		g2, l2, err := GLFactors(svC, svE)
+		if err != nil {
+			return false
+		}
+		if g1 < 1 || l1 < 1 {
+			return false
+		}
+		return math.Abs(g1-l2) < 1e-9*g1 && math.Abs(l1-g2) < 1e-9*math.Max(l1, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectivityRegionArea(t *testing.T) {
+	// Formula from §5.3: (λ − 1/λ)·lnλ·s1·s2.
+	got := SelectivityRegionArea(2, 0.3, 0.4)
+	want := (2 - 0.5) * math.Log(2) * 0.3 * 0.4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("area = %v, want %v", got, want)
+	}
+	if SelectivityRegionArea(1, 0.3, 0.4) != 0 {
+		t.Error("λ=1 region must have zero area")
+	}
+	if SelectivityRegionArea(0.5, 0.3, 0.4) != 0 {
+		t.Error("λ<1 region must have zero area")
+	}
+	// Area increases with λ and with selectivities.
+	if SelectivityRegionArea(3, 0.3, 0.4) <= got {
+		t.Error("area must increase with λ")
+	}
+	if SelectivityRegionArea(2, 0.6, 0.4) <= got {
+		t.Error("area must increase with s1")
+	}
+}
+
+func TestCostBounds(t *testing.T) {
+	lo, hi := CostBounds(100, 3, 2)
+	if lo != 50 || hi != 300 {
+		t.Errorf("CostBounds = (%v, %v), want (50, 300)", lo, hi)
+	}
+}
+
+func TestViolatesBCG(t *testing.T) {
+	// Interval is [1/L, G] = [0.5, 3] with L=2, G=3.
+	cases := []struct {
+		r    float64
+		want bool
+	}{
+		{1.0, false}, {0.5, false}, {3.0, false},
+		{3.2, true}, {0.4, true},
+		{3.02, false}, // within 1% tolerance
+		{0.496, false},
+	}
+	for _, tc := range cases {
+		if got := ViolatesBCG(tc.r, 3, 2, 0.01); got != tc.want {
+			t.Errorf("ViolatesBCG(%v) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestCheckString(t *testing.T) {
+	for c, want := range map[Check]string{
+		ViaOptimizer: "optimizer", ViaSelectivity: "selectivity-check",
+		ViaCost: "cost-check", ViaInference: "inference",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if Check(9).String() == "" {
+		t.Error("unknown check should render something")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// Rehydrator is the optional engine capability needed to import a
+// serialized plan cache: rebuilding a cached plan (with its recost
+// representation) from a bare plan tree. engine.TemplateEngine implements
+// it.
+type Rehydrator interface {
+	Rehydrate(p *plan.Plan) (*engine.CachedPlan, error)
+}
+
+// cacheJSON is the serialized plan-cache state: the plan list plus the
+// instance 5-tuples (referencing plans by fingerprint). Configuration is
+// not serialized — the importing SCR supplies its own.
+type cacheJSON struct {
+	Plans     []json.RawMessage `json:"plans"`
+	Instances []instanceJSON    `json:"instances"`
+}
+
+type instanceJSON struct {
+	V           []float64 `json:"v"`
+	PlanFP      string    `json:"planFP"`
+	C           float64   `json:"c"`
+	S           float64   `json:"s"`
+	U           int64     `json:"u"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+}
+
+// Export serializes the current plan cache (plan list + instance list) so
+// it can be persisted across process restarts. The guarantee-relevant
+// state — selectivity vectors, optimal costs, sub-optimality factors and
+// quarantine flags — round-trips exactly.
+func (s *SCR) Export() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := cacheJSON{}
+	for _, fp := range s.sortedPlanFPs() {
+		raw, err := json.Marshal(s.plans[fp].cp.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: exporting plan %s: %w", fp, err)
+		}
+		out.Plans = append(out.Plans, raw)
+	}
+	for _, e := range s.instances {
+		out.Instances = append(out.Instances, instanceJSON{
+			V: e.v, PlanFP: e.pp.fp, C: e.c, S: e.s, U: e.u, Quarantined: e.quarantined,
+		})
+	}
+	return json.Marshal(out)
+}
+
+func (s *SCR) sortedPlanFPs() []string {
+	fps := make([]string, 0, len(s.plans))
+	for fp := range s.plans {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	return fps
+}
+
+// Import restores a plan cache exported by Export into an empty SCR whose
+// engine supports rehydration. Importing into a non-empty cache is
+// rejected: merged caches could double-count usage and violate budget
+// accounting.
+func (s *SCR) Import(data []byte) error {
+	rh, ok := s.eng.(Rehydrator)
+	if !ok {
+		return fmt.Errorf("core: engine %T cannot rehydrate plans", s.eng)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.plans) != 0 || len(s.instances) != 0 {
+		return fmt.Errorf("core: import into non-empty plan cache")
+	}
+	var in cacheJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: import: %w", err)
+	}
+	byFP := make(map[string]*planEntry, len(in.Plans))
+	for i, raw := range in.Plans {
+		p, err := plan.UnmarshalPlan(raw)
+		if err != nil {
+			return fmt.Errorf("core: import plan %d: %w", i, err)
+		}
+		cp, err := rh.Rehydrate(p)
+		if err != nil {
+			return fmt.Errorf("core: rehydrating plan %d: %w", i, err)
+		}
+		pe := &planEntry{cp: cp, fp: cp.Fingerprint()}
+		byFP[pe.fp] = pe
+	}
+	if s.cfg.PlanBudget > 0 && len(byFP) > s.cfg.PlanBudget {
+		return fmt.Errorf("core: import has %d plans, budget is %d", len(byFP), s.cfg.PlanBudget)
+	}
+	var insts []*instanceEntry
+	for i, ij := range in.Instances {
+		pe, ok := byFP[ij.PlanFP]
+		if !ok {
+			return fmt.Errorf("core: import instance %d references unknown plan %q", i, ij.PlanFP)
+		}
+		if len(ij.V) != s.eng.Dimensions() {
+			return fmt.Errorf("core: import instance %d has %d dimensions, engine has %d",
+				i, len(ij.V), s.eng.Dimensions())
+		}
+		if ij.C <= 0 || ij.S < 1 {
+			return fmt.Errorf("core: import instance %d has invalid C=%v S=%v", i, ij.C, ij.S)
+		}
+		insts = append(insts, &instanceEntry{
+			v: ij.V, pp: pe, c: ij.C, s: ij.S, u: ij.U, quarantined: ij.Quarantined,
+		})
+	}
+	s.plans = make(map[string]*planEntry, len(byFP))
+	for fp, pe := range byFP {
+		s.plans[fp] = pe
+	}
+	s.instances = insts
+	if len(s.plans) > s.stats.MaxPlans {
+		s.stats.MaxPlans = len(s.plans)
+	}
+	return nil
+}
+
+// SnapshotSummary describes an exported plan cache without rehydrating it.
+type SnapshotSummary struct {
+	Plans     []SnapshotPlan
+	Instances int
+	// Dimensions is the selectivity-vector width of the stored instances.
+	Dimensions int
+}
+
+// SnapshotPlan summarizes one cached plan within a snapshot.
+type SnapshotPlan struct {
+	Fingerprint string
+	// Instances is the number of instance entries bound to this plan;
+	// Usage is their aggregate usage count U.
+	Instances int
+	Usage     int64
+	// MinCost and MaxCost bound the optimal costs of the bound instances.
+	MinCost, MaxCost float64
+	// Quarantined counts entries excluded from cost-check reuse (App. G).
+	Quarantined int
+}
+
+// InspectSnapshot parses an Export-produced snapshot and returns its
+// summary. It does not need an engine: plans are summarized structurally.
+func InspectSnapshot(data []byte) (*SnapshotSummary, error) {
+	var in cacheJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: inspect: %w", err)
+	}
+	out := &SnapshotSummary{Instances: len(in.Instances)}
+	byFP := make(map[string]*SnapshotPlan)
+	var order []string
+	for i, raw := range in.Plans {
+		p, err := plan.UnmarshalPlan(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: inspect plan %d: %w", i, err)
+		}
+		fp := p.Fingerprint()
+		if _, dup := byFP[fp]; !dup {
+			byFP[fp] = &SnapshotPlan{Fingerprint: fp}
+			order = append(order, fp)
+		}
+	}
+	for i, ij := range in.Instances {
+		sp, ok := byFP[ij.PlanFP]
+		if !ok {
+			return nil, fmt.Errorf("core: inspect: instance %d references unknown plan %q", i, ij.PlanFP)
+		}
+		if out.Dimensions == 0 {
+			out.Dimensions = len(ij.V)
+		}
+		sp.Instances++
+		sp.Usage += ij.U
+		if ij.Quarantined {
+			sp.Quarantined++
+		}
+		if sp.MinCost == 0 || ij.C < sp.MinCost {
+			sp.MinCost = ij.C
+		}
+		if ij.C > sp.MaxCost {
+			sp.MaxCost = ij.C
+		}
+	}
+	for _, fp := range order {
+		out.Plans = append(out.Plans, *byFP[fp])
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/pqotest"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// realEngine builds a real TemplateEngine (which supports rehydration) over
+// a 2-d TPC-H template.
+func realEngine(t *testing.T) *engine.TemplateEngine {
+	t.Helper()
+	sys, err := engine.NewSystem(catalog.NewTPCH(0.05), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := &query.Template{
+		Name:    "persist2d",
+		Catalog: sys.Cat,
+		Tables:  []string{"lineitem", "orders"},
+		Joins: []query.Join{{Left: "lineitem", Right: "orders",
+			LeftCol: "l_orderkey", RightCol: "o_orderkey", Selectivity: 1.0 / 75_000}},
+		Preds: []query.Predicate{
+			{Table: "lineitem", Column: "l_shipdate", Op: query.LE, Param: 0},
+			{Table: "orders", Column: "o_orderdate", Op: query.LE, Param: 1},
+		},
+	}
+	eng, err := sys.EngineFor(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	eng := realEngine(t)
+	s1, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache with a bucketized workload.
+	insts, err := workload.GenerateSet(2, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range insts {
+		if _, err := s1.Process(q.SV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st1 := s1.Stats()
+	if st1.CurPlans == 0 {
+		t.Fatal("warm-up cached no plans")
+	}
+	data, err := s1.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh SCR (new process, same engine) imports the cache and serves
+	// the same instances without any optimizer call.
+	s2, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().CurPlans; got != st1.CurPlans {
+		t.Errorf("imported %d plans, want %d", got, st1.CurPlans)
+	}
+	if got := s2.NumInstances(); got != s1.NumInstances() {
+		t.Errorf("imported %d instances, want %d", got, s1.NumInstances())
+	}
+	optBefore := s2.Stats().OptCalls
+	for _, q := range insts {
+		dec, err := s2.Process(q.SV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Plan == nil {
+			t.Fatal("nil plan after import")
+		}
+	}
+	if extra := s2.Stats().OptCalls - optBefore; extra > int64(len(insts))/4 {
+		t.Errorf("imported cache still needed %d optimizer calls on the warm-up set", extra)
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	eng := realEngine(t)
+	s, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Import([]byte("{")); err == nil {
+		t.Error("garbage JSON should fail")
+	}
+	if err := s.Import([]byte(`{"plans":[],"instances":[{"v":[0.1,0.1],"planFP":"missing","c":1,"s":1,"u":1}]}`)); err == nil {
+		t.Error("dangling plan reference should fail")
+	}
+	// Import into a non-empty cache must be rejected.
+	if _, err := s.Process([]float64{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Import(data); err == nil || !strings.Contains(err.Error(), "non-empty") {
+		t.Errorf("import into non-empty cache: err = %v", err)
+	}
+	// Budget enforcement on import.
+	s2, err := NewSCR(eng, Config{Lambda: 2, PlanBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a 2-plan cache to violate the k=1 budget.
+	for _, sv := range [][]float64{{1e-4, 1e-4}, {0.9, 0.9}, {1e-4, 0.9}, {0.9, 1e-4}} {
+		if _, err := s3.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s3.Stats().CurPlans < 2 {
+		t.Skip("workload produced a single plan; budget check not exercisable")
+	}
+	multi, err := s3.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Import(multi); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("over-budget import: err = %v", err)
+	}
+}
+
+func TestImportRequiresRehydrator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eng, err := pqotest.RandomEngine(rng, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Import([]byte(`{"plans":[],"instances":[]}`)); err == nil ||
+		!strings.Contains(err.Error(), "rehydrate") {
+		t.Errorf("non-rehydrating engine: err = %v", err)
+	}
+}
+
+func TestImportedGuaranteeStillHolds(t *testing.T) {
+	// After a round trip, the λ guarantee must hold for fresh instances:
+	// the imported S and C values drive the checks.
+	eng := realEngine(t)
+	s1, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := workload.GenerateSet(2, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range warm {
+		if _, err := s1.Process(q.SV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := s1.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := workload.GenerateSet(2, 60, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range fresh {
+		dec, err := s2.Process(q.SV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chosen, err := eng.Recost(dec.Plan, q.SV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := eng.Optimize(q.SV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if so := chosen / opt; so > 2*(1+0.05) {
+			// Allow 5% slack for real-cost-model BCG edge effects.
+			t.Errorf("instance %d after import: SO = %v exceeds λ=2", i, so)
+		}
+	}
+}
+
+func TestInspectSnapshot(t *testing.T) {
+	eng := realEngine(t)
+	s, err := NewSCR(eng, Config{Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := workload.GenerateSet(2, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range insts {
+		if _, err := s.Process(q.SV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := InspectSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Plans) != s.Stats().CurPlans {
+		t.Errorf("summary has %d plans, cache has %d", len(sum.Plans), s.Stats().CurPlans)
+	}
+	if sum.Instances != s.NumInstances() {
+		t.Errorf("summary has %d instances, cache has %d", sum.Instances, s.NumInstances())
+	}
+	if sum.Dimensions != 2 {
+		t.Errorf("dimensions = %d, want 2", sum.Dimensions)
+	}
+	totalInst := 0
+	for _, p := range sum.Plans {
+		totalInst += p.Instances
+		if p.MinCost <= 0 || p.MaxCost < p.MinCost {
+			t.Errorf("plan %s has cost range [%v, %v]", p.Fingerprint, p.MinCost, p.MaxCost)
+		}
+	}
+	if totalInst != sum.Instances {
+		t.Errorf("per-plan instances sum %d != total %d", totalInst, sum.Instances)
+	}
+	if _, err := InspectSnapshot([]byte("{")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := InspectSnapshot([]byte(`{"plans":[],"instances":[{"v":[0.1],"planFP":"x","c":1,"s":1,"u":1}]}`)); err == nil {
+		t.Error("dangling plan reference should fail")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRegionAreaFormulaMonteCarlo validates the closed-form area of the 2-d
+// selectivity-based λ-optimal region (§5.3): the region {q : G·L ≤ λ}
+// around an instance (s1, s2) has area (λ − 1/λ)·ln λ · s1·s2. We estimate
+// the area by Monte Carlo over the bounding box implied by the region
+// geometry (s1/λ ≤ x ≤ s1·λ, same for y) and compare.
+func TestRegionAreaFormulaMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	cases := []struct {
+		lambda, s1, s2 float64
+	}{
+		{2.0, 0.3, 0.4},
+		{1.5, 0.1, 0.1},
+		{1.1, 0.5, 0.2},
+		{3.0, 0.05, 0.25},
+	}
+	const samples = 400000
+	for _, tc := range cases {
+		// Bounding box of the region.
+		x0, x1 := tc.s1/tc.lambda, tc.s1*tc.lambda
+		y0, y1 := tc.s2/tc.lambda, tc.s2*tc.lambda
+		boxArea := (x1 - x0) * (y1 - y0)
+		in := 0
+		for i := 0; i < samples; i++ {
+			x := x0 + rng.Float64()*(x1-x0)
+			y := y0 + rng.Float64()*(y1-y0)
+			g, l, err := GLFactors([]float64{tc.s1, tc.s2}, []float64{x, y})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g*l <= tc.lambda {
+				in++
+			}
+		}
+		got := boxArea * float64(in) / samples
+		want := SelectivityRegionArea(tc.lambda, tc.s1, tc.s2)
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("λ=%v s=(%v,%v): Monte Carlo area %v vs formula %v (rel err %.1f%%)",
+				tc.lambda, tc.s1, tc.s2, got, want, rel*100)
+		}
+	}
+}
+
+// TestRegionGeometryBoundaries spot-checks the §5.3 boundary curves: the
+// region is bounded by the lines y = s2·λ/s1·x, y = s2/(s1·λ)·x and the
+// hyperbolas y = s1·s2/λ/x, y = s1·s2·λ/x. Points just inside each curve
+// satisfy G·L ≤ λ; points just outside do not.
+func TestRegionGeometryBoundaries(t *testing.T) {
+	lambda := 2.0
+	s1, s2 := 0.2, 0.3
+	check := func(x, y float64, wantInside bool, what string) {
+		t.Helper()
+		g, l, err := GLFactors([]float64{s1, s2}, []float64{x, y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inside := g*l <= lambda
+		if inside != wantInside {
+			t.Errorf("%s: point (%v,%v) inside=%v, want %v (GL=%v)", what, x, y, inside, wantInside, g*l)
+		}
+	}
+	eps := 1e-6
+	// Along the ray x = s1·t, y = s2·t (both scaled equally): GL = t on one
+	// side, 1/t... for t>1: G = t², L = 1 → need t² ≤ λ.
+	tMax := math.Sqrt(lambda)
+	check(s1*(tMax-eps), s2*(tMax-eps), true, "diagonal inside")
+	check(s1*(tMax+1e-3), s2*(tMax+1e-3), false, "diagonal outside")
+	// Along the hyperbola x·y = s1·s2 (one up by α, the other down by α):
+	// G = α, L = α → GL = α² ≤ λ.
+	alpha := math.Sqrt(lambda)
+	check(s1*(alpha-1e-3), s2/(alpha-1e-3), true, "hyperbola inside")
+	check(s1*(alpha+1e-3), s2/(alpha+1e-3), false, "hyperbola outside")
+	// One-dimensional moves: x scaled by λ exactly is on the boundary.
+	check(s1*(lambda-1e-3), s2, true, "axis inside")
+	check(s1*(lambda+1e-3), s2, false, "axis outside")
+}
+
+// TestRecostRegionSupersetOfSelectivityRegion: every point that passes the
+// selectivity check would also pass the cost check against a BCG-compliant
+// engine (the recost-based region contains the selectivity-based one, as
+// drawn in Figure 4).
+func TestRecostRegionSupersetOfSelectivityRegion(t *testing.T) {
+	// Multilinear cost: Cost = 10 + 50x + 80y (BCG-exact).
+	cost := func(sv []float64) float64 { return 10 + 50*sv[0] + 80*sv[1] }
+	lambda := 2.0
+	anchor := []float64{0.2, 0.3}
+	cAnchor := cost(anchor)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		q := []float64{rng.Float64()*0.9 + 1e-4, rng.Float64()*0.9 + 1e-4}
+		g, l, err := GLFactors(anchor, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g*l > lambda {
+			continue // outside the selectivity region
+		}
+		r := cost(q) / cAnchor
+		if r*l > lambda*(1+1e-12) {
+			t.Fatalf("point %v passes selectivity check (GL=%v) but fails cost check (RL=%v)",
+				q, g*l, r*l)
+		}
+	}
+}

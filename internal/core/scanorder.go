@@ -1,0 +1,67 @@
+package core
+
+import "sort"
+
+// ScanOrder selects how getPlan's selectivity check traverses the instance
+// list. §6.2 suggests the alternatives: scanning instances with larger
+// selectivity regions or higher usage counts first makes the first
+// successful selectivity check come sooner, shrinking the average scan
+// length.
+type ScanOrder int
+
+const (
+	// ScanInsertion keeps instances in arrival order (the default).
+	ScanInsertion ScanOrder = iota
+	// ScanByArea orders by decreasing selectivity-region area — a function
+	// of the instance's selectivities and λ (§5.3's area formula,
+	// generalized to d dimensions as the product of selectivities).
+	ScanByArea
+	// ScanByUsage orders by decreasing usage count U (LFU-style: hot
+	// instances first).
+	ScanByUsage
+)
+
+// String names the scan order.
+func (o ScanOrder) String() string {
+	switch o {
+	case ScanInsertion:
+		return "insertion"
+	case ScanByArea:
+		return "by-area"
+	case ScanByUsage:
+		return "by-usage"
+	default:
+		return "scan-order(?)"
+	}
+}
+
+// regionWeight is the area-ordering key: the region area formula's
+// selectivity-dependent factor ∏ si (the λ factor is shared by all
+// entries, so it does not affect the ordering).
+func regionWeight(sv []float64) float64 {
+	w := 1.0
+	for _, s := range sv {
+		w *= s
+	}
+	return w
+}
+
+// resortInstances re-orders the instance list per the configured scan
+// order. Called by getPlan every resortEvery insertions; sorting is O(n log
+// n) off the hot path and keeps the scan prefix effective as the cache
+// evolves.
+func (s *SCR) resortInstances() {
+	switch s.cfg.Scan {
+	case ScanByArea:
+		sort.SliceStable(s.instances, func(i, j int) bool {
+			return regionWeight(s.instances[i].v) > regionWeight(s.instances[j].v)
+		})
+	case ScanByUsage:
+		sort.SliceStable(s.instances, func(i, j int) bool {
+			return s.instances[i].u > s.instances[j].u
+		})
+	}
+}
+
+// resortEvery is the number of instance-list insertions between re-sorts.
+const resortEvery = 32

@@ -1,0 +1,585 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Config parameterizes SCR.
+type Config struct {
+	// Lambda is the cost sub-optimality bound λ ≥ 1 every processed
+	// instance must satisfy (SO(q) ≤ λ).
+	Lambda float64
+	// LambdaR is the redundancy-check threshold λr < λ. Zero selects the
+	// paper's default √λ (Appendix E). Set StoreAlways to disable the
+	// redundancy check entirely (λr = 1, i.e. keep every new plan).
+	LambdaR     float64
+	StoreAlways bool
+	// PlanBudget is the hard limit k on cached plans; 0 means unlimited
+	// (§6.3.1).
+	PlanBudget int
+	// CostCheckLimit bounds the number of Recost calls per getPlan: the
+	// selectivity check collects cost-check candidates in increasing GL
+	// order and rejects the rest (§6.2's pruning heuristic). Zero selects
+	// the default of 8. Negative disables the cost check entirely.
+	CostCheckLimit int
+	// GLCutoff additionally rejects cost-check candidates whose GL exceeds
+	// this value; zero disables the cutoff.
+	GLCutoff float64
+	// OrderCandidatesByL sorts cost-check candidates by increasing L
+	// instead of the paper's increasing G·L. Rationale (an extension over
+	// §6.2): the cost check replaces G with the measured ratio R, so a
+	// candidate's G is irrelevant to whether R·L ≤ λ/S can hold — only a
+	// small L gives headroom. Instances the new one *dominates* have L = 1
+	// and are the most likely to pass, yet have the largest G·L and are
+	// pruned first under GL order. L-ordering markedly reduces optimizer
+	// calls on high-dimensional templates (see the candidate-order
+	// ablation bench).
+	OrderCandidatesByL bool
+	// Scan selects the instance-list traversal order for the selectivity
+	// check (§6.2's alternatives): insertion order (default), decreasing
+	// selectivity-region area, or decreasing usage count.
+	Scan ScanOrder
+	// DetectViolations enables Appendix G: instances whose recost reveals
+	// a BCG violation are quarantined from future cost-check reuse.
+	DetectViolations bool
+	// ViolationTolerance is the relative slack for violation detection;
+	// zero selects 1%.
+	ViolationTolerance float64
+	// Dynamic enables Appendix D's per-instance λ; nil keeps λ static.
+	Dynamic *DynamicLambda
+}
+
+// DynamicLambda maps an instance's optimal cost to a λ in [Min, Max] via an
+// exponentially decaying function of cost (Appendix D): cheap instances get
+// a loose bound (large λ), expensive instances a tight one.
+type DynamicLambda struct {
+	Min, Max float64
+	// RefCost is the decay scale: λ(C) = Min + (Max−Min)·exp(−C/RefCost).
+	RefCost float64
+}
+
+// lambdaFor returns the sub-optimality bound to enforce for an instance
+// whose optimal cost is c.
+func (c0 *Config) lambdaFor(c float64) float64 {
+	if c0.Dynamic == nil {
+		return c0.Lambda
+	}
+	d := c0.Dynamic
+	ref := d.RefCost
+	if ref <= 0 {
+		ref = 1
+	}
+	return d.Min + (d.Max-d.Min)*math.Exp(-c/ref)
+}
+
+func (c0 *Config) lambdaR() float64 {
+	if c0.StoreAlways {
+		return 1
+	}
+	if c0.LambdaR > 0 {
+		return c0.LambdaR
+	}
+	return math.Sqrt(c0.Lambda)
+}
+
+func (c0 *Config) costCheckLimit() int {
+	if c0.CostCheckLimit == 0 {
+		return 8
+	}
+	return c0.CostCheckLimit
+}
+
+func (c0 *Config) validate() error {
+	if c0.Lambda < 1 {
+		return fmt.Errorf("core: lambda %v must be >= 1", c0.Lambda)
+	}
+	if c0.LambdaR != 0 && (c0.LambdaR < 1 || c0.LambdaR > c0.Lambda) {
+		return fmt.Errorf("core: lambdaR %v must lie in [1, lambda]", c0.LambdaR)
+	}
+	if c0.PlanBudget < 0 {
+		return fmt.Errorf("core: plan budget %v must be >= 0", c0.PlanBudget)
+	}
+	if d := c0.Dynamic; d != nil {
+		if d.Min < 1 || d.Max < d.Min {
+			return fmt.Errorf("core: dynamic lambda range [%v,%v] invalid", d.Min, d.Max)
+		}
+	}
+	return nil
+}
+
+// planEntry is one plan in the plan cache's plan list.
+type planEntry struct {
+	cp *engine.CachedPlan
+	fp string
+}
+
+// instanceEntry is the 5-tuple I = <V, PP, C, S, U> of §6.1, plus the
+// Appendix G quarantine flag.
+type instanceEntry struct {
+	v  []float64  // V: selectivity vector of the optimized instance
+	pp *planEntry // PP: plan assigned to this instance
+	c  float64    // C: optimizer-estimated optimal cost at V
+	s  float64    // S: sub-optimality of PP at V
+	u  int64      // U: usage count (instances served through this entry)
+	// quarantined excludes the entry from cost-check reuse after a BCG
+	// violation was observed through it (Appendix G).
+	quarantined bool
+}
+
+// SCR is the paper's technique: an online PQO plan cache driven by the
+// selectivity, cost and redundancy checks.
+type SCR struct {
+	cfg Config
+	eng Engine
+
+	mu        sync.Mutex
+	plans     map[string]*planEntry
+	instances []*instanceEntry
+	lookups   int64
+	stats     Stats
+}
+
+// NewSCR returns an SCR technique over eng with the given configuration.
+func NewSCR(eng Engine, cfg Config) (*SCR, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &SCR{cfg: cfg, eng: eng, plans: make(map[string]*planEntry)}, nil
+}
+
+// Name identifies the technique and its λ, e.g. "SCR(2)".
+func (s *SCR) Name() string {
+	if s.cfg.Dynamic != nil {
+		return fmt.Sprintf("SCR(dyn %g..%g)", s.cfg.Dynamic.Min, s.cfg.Dynamic.Max)
+	}
+	return fmt.Sprintf("SCR(%g)", s.cfg.Lambda)
+}
+
+// Stats returns cumulative counters.
+func (s *SCR) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CurPlans = len(s.plans)
+	var mem int64
+	for _, pe := range s.plans {
+		mem += int64(pe.cp.MemoryBytes())
+	}
+	mem += int64(len(s.instances)) * 100 // ~100 bytes per 5-tuple (§6.1)
+	st.MemoryBytes = mem
+	return st
+}
+
+// Process implements Technique: getPlan, then manageCache on a miss.
+func (s *SCR) Process(sv []float64) (*Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Instances++
+
+	if dec, err := s.getPlan(sv); dec != nil || err != nil {
+		return dec, err
+	}
+
+	// Both checks failed: full optimizer call.
+	cp, optCost, err := s.eng.Optimize(sv)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.OptCalls++
+	if err := s.manageCache(sv, cp, optCost); err != nil {
+		return nil, err
+	}
+	return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
+}
+
+// getPlan is Algorithm 1: the selectivity check over the instance list,
+// then the cost check over the most promising candidates in increasing GL
+// order. Returns (nil, nil) if no cached plan can be inferred λ-optimal.
+func (s *SCR) getPlan(sv []float64) (*Decision, error) {
+	// Periodic re-sort per the configured scan order (§6.2): usage counts
+	// and region areas evolve with traffic, so the ordering is refreshed
+	// on a lookup cadence rather than only on insertion.
+	s.lookups++
+	if s.cfg.Scan != ScanInsertion && s.lookups%resortEvery == 0 {
+		s.resortInstances()
+	}
+	type cand struct {
+		e  *instanceEntry
+		gl float64
+		l  float64
+	}
+	cands := make([]cand, 0, len(s.instances))
+
+	for _, e := range s.instances {
+		s.stats.SelChecks++
+		g, l, err := GLFactors(e.v, sv)
+		if err != nil {
+			return nil, err
+		}
+		lam := s.cfg.lambdaFor(e.c)
+		if g*l <= lam/e.s {
+			e.u++
+			return &Decision{Plan: e.pp.cp, Via: ViaSelectivity}, nil
+		}
+		if !e.quarantined {
+			cands = append(cands, cand{e: e, gl: g * l, l: l})
+		}
+	}
+
+	limit := s.cfg.costCheckLimit()
+	if limit < 0 {
+		return nil, nil
+	}
+	if s.cfg.OrderCandidatesByL {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].l < cands[j].l })
+	} else {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].gl < cands[j].gl })
+	}
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	tol := s.cfg.ViolationTolerance
+	if tol <= 0 {
+		tol = 0.01
+	}
+	for _, c := range cands {
+		if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
+			break
+		}
+		newCost, err := s.eng.Recost(c.e.pp.cp, sv)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.GetPlanRecosts++
+		if s.cfg.DetectViolations {
+			// Appendix G: the BCG bounds constrain the plan's own cost
+			// ratio between qe and qc; Cost(PP, qe) = C·S.
+			rPlan := newCost / (c.e.c * c.e.s)
+			g, l, err := GLFactors(c.e.v, sv)
+			if err != nil {
+				return nil, err
+			}
+			if ViolatesBCG(rPlan, g, l, tol) {
+				c.e.quarantined = true
+				s.stats.Violations++
+				continue
+			}
+		}
+		// §6.2: R = Cost(PP, qc) / C (C is the optimal cost at qe); the
+		// cost check is R·L ≤ λ/S.
+		r := newCost / c.e.c
+		lam := s.cfg.lambdaFor(c.e.c)
+		if r*c.l <= lam/c.e.s {
+			c.e.u++
+			return &Decision{Plan: c.e.pp.cp, Via: ViaCost}, nil
+		}
+	}
+	return nil, nil
+}
+
+// addInstance appends an instance entry.
+func (s *SCR) addInstance(e *instanceEntry) {
+	s.instances = append(s.instances, e)
+}
+
+// manageCache is Algorithm 2: record the optimized instance, running the
+// redundancy check for genuinely new plans and enforcing the plan budget.
+func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) error {
+	v := make([]float64, len(sv))
+	copy(v, sv)
+	fp := cp.Fingerprint()
+
+	if pe, ok := s.plans[fp]; ok {
+		// Plan already cached: extend its inference region with this
+		// instance.
+		s.addInstance(&instanceEntry{v: v, pp: pe, c: optCost, s: 1, u: 1})
+		return nil
+	}
+
+	// New plan: redundancy check against the cached plans.
+	if !s.cfg.StoreAlways && len(s.plans) > 0 {
+		minPE, minCost, err := s.minCostPlan(sv)
+		if err != nil {
+			return err
+		}
+		sMin := minCost / optCost
+		if sMin <= s.cfg.lambdaR() {
+			// Redundant: discard the new plan, bind the instance to the
+			// cheapest existing plan with its sub-optimality.
+			s.stats.RedundantPlansRejected++
+			s.addInstance(&instanceEntry{v: v, pp: minPE, c: optCost, s: sMin, u: 1})
+			return nil
+		}
+	}
+
+	if s.cfg.PlanBudget > 0 && len(s.plans) >= s.cfg.PlanBudget {
+		s.evictLFU()
+	}
+	pe := &planEntry{cp: cp, fp: fp}
+	s.plans[fp] = pe
+	s.addInstance(&instanceEntry{v: v, pp: pe, c: optCost, s: 1, u: 1})
+	if len(s.plans) > s.stats.MaxPlans {
+		s.stats.MaxPlans = len(s.plans)
+	}
+	return nil
+}
+
+// minCostPlan recosts every cached plan at sv and returns the cheapest
+// (getMinCostPlan of Algorithm 2). These recosts happen off the critical
+// path and are counted separately.
+func (s *SCR) minCostPlan(sv []float64) (*planEntry, float64, error) {
+	var (
+		best     *planEntry
+		bestCost = math.Inf(1)
+	)
+	// Iterate in deterministic order for reproducibility.
+	for _, fp := range s.sortedPlanFPs() {
+		pe := s.plans[fp]
+		c, err := s.eng.Recost(pe.cp, sv)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.stats.ManageRecosts++
+		if c < bestCost {
+			best, bestCost = pe, c
+		}
+	}
+	return best, bestCost, nil
+}
+
+// evictLFU drops the plan with the lowest aggregate usage count and removes
+// every instance entry pointing to it, preserving the λ-optimality
+// guarantee (§6.3.1).
+func (s *SCR) evictLFU() {
+	usage := make(map[*planEntry]int64, len(s.plans))
+	for _, e := range s.instances {
+		usage[e.pp] += e.u
+	}
+	var (
+		victim    *planEntry
+		victimUse = int64(math.MaxInt64)
+	)
+	for _, fp := range s.sortedPlanFPs() {
+		pe := s.plans[fp]
+		if u := usage[pe]; u < victimUse {
+			victim, victimUse = pe, u
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(s.plans, victim.fp)
+	kept := s.instances[:0]
+	for _, e := range s.instances {
+		if e.pp != victim {
+			kept = append(kept, e)
+		}
+	}
+	s.instances = kept
+	s.stats.Evictions++
+}
+
+// ProbeCheck classifies how getPlan would serve an instance at sv — by the
+// selectivity check, the cost check, or an optimizer call — WITHOUT
+// mutating usage counters, quarantine flags or statistics. It is a
+// diagnostic/visualization aid (e.g. rendering the §5.3 inference-region
+// geometry) and performs Recost calls against the engine like the real
+// cost check would.
+func (s *SCR) ProbeCheck(sv []float64) Check {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type cand struct {
+		e  *instanceEntry
+		gl float64
+		l  float64
+	}
+	var cands []cand
+	for _, e := range s.instances {
+		g, l, err := GLFactors(e.v, sv)
+		if err != nil {
+			return ViaOptimizer
+		}
+		if g*l <= s.cfg.lambdaFor(e.c)/e.s {
+			return ViaSelectivity
+		}
+		if !e.quarantined {
+			cands = append(cands, cand{e: e, gl: g * l, l: l})
+		}
+	}
+	limit := s.cfg.costCheckLimit()
+	if limit < 0 {
+		return ViaOptimizer
+	}
+	if s.cfg.OrderCandidatesByL {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].l < cands[j].l })
+	} else {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].gl < cands[j].gl })
+	}
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	for _, c := range cands {
+		if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
+			break
+		}
+		newCost, err := s.eng.Recost(c.e.pp.cp, sv)
+		if err != nil {
+			return ViaOptimizer
+		}
+		if (newCost/c.e.c)*c.l <= s.cfg.lambdaFor(c.e.c)/c.e.s {
+			return ViaCost
+		}
+	}
+	return ViaOptimizer
+}
+
+// NumInstances returns the current instance-list length (optimized
+// instances retained).
+func (s *SCR) NumInstances() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.instances)
+}
+
+// SweepRedundantPlans implements Appendix F: it tests every cached plan for
+// redundancy against the remaining plans and drops those whose instances
+// can all be served λ-optimally by alternatives. Plans are examined in
+// increasing order of instance count. It returns the number of plans
+// dropped. The sweep is intended to run off the critical path.
+func (s *SCR) SweepRedundantPlans() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dropped := 0
+	for {
+		// Order plans by ascending instance count (cheapest to verify and
+		// most likely redundant, per Appendix F).
+		count := make(map[*planEntry]int, len(s.plans))
+		for _, e := range s.instances {
+			count[e.pp]++
+		}
+		ordered := make([]*planEntry, 0, len(s.plans))
+		for _, pe := range s.plans {
+			ordered = append(ordered, pe)
+		}
+		sort.Slice(ordered, func(i, j int) bool {
+			if count[ordered[i]] != count[ordered[j]] {
+				return count[ordered[i]] < count[ordered[j]]
+			}
+			return ordered[i].fp < ordered[j].fp
+		})
+		removedOne := false
+		for _, pe := range ordered {
+			if len(s.plans) <= 1 {
+				break
+			}
+			ok, rebound, err := s.planIsRedundant(pe)
+			if err != nil {
+				return dropped, err
+			}
+			if !ok {
+				continue
+			}
+			delete(s.plans, pe.fp)
+			kept := s.instances[:0]
+			for _, e := range s.instances {
+				if e.pp != pe {
+					kept = append(kept, e)
+				}
+			}
+			s.instances = append(kept, rebound...)
+			dropped++
+			removedOne = true
+			break // re-derive counts after each removal
+		}
+		if !removedOne {
+			return dropped, nil
+		}
+	}
+}
+
+// planIsRedundant checks whether every instance bound to pe has an
+// alternative λ-optimal plan among the other cached plans; if so it returns
+// replacement instance entries bound to those alternatives.
+func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
+	var rebound []*instanceEntry
+	for _, e := range s.instances {
+		if e.pp != pe {
+			continue
+		}
+		var (
+			alt     *planEntry
+			altCost = math.Inf(1)
+		)
+		for _, fp := range s.sortedPlanFPs() {
+			other := s.plans[fp]
+			if other == pe {
+				continue
+			}
+			c, err := s.eng.Recost(other.cp, e.v)
+			if err != nil {
+				return false, nil, err
+			}
+			s.stats.ManageRecosts++
+			if c < altCost {
+				alt, altCost = other, c
+			}
+		}
+		if alt == nil {
+			return false, nil, nil
+		}
+		sAlt := altCost / e.c
+		if sAlt > s.cfg.lambdaFor(e.c) {
+			return false, nil, nil
+		}
+		rebound = append(rebound, &instanceEntry{v: e.v, pp: alt, c: e.c, s: sAlt, u: e.u})
+	}
+	return true, rebound, nil
+}
+
+// SeedInstance pre-populates the plan cache with an externally discovered
+// (plan, anchor instance) pair — the §9 future-work hybrid: an offline
+// exploration (e.g. an anorexic plan-diagram reduction) supplies plans and
+// anchors before any query arrives, and the online checks then reuse them
+// exactly as if the anchors had been optimized online. subOpt is the
+// known sub-optimality S of the plan at the anchor (1 when the plan is the
+// anchor's optimal plan); optCost is the optimal cost C at the anchor.
+//
+// Seeding preserves the λ-optimality guarantee: the selectivity and cost
+// checks both divide the bound by S, so a conservative (over-)estimate of
+// subOpt is safe, while an underestimate would not be — callers must pass
+// a true upper bound on the plan's sub-optimality at the anchor.
+func (s *SCR) SeedInstance(sv []float64, cp *engine.CachedPlan, optCost, subOpt float64) error {
+	if cp == nil {
+		return fmt.Errorf("core: seed with nil plan")
+	}
+	if len(sv) != s.eng.Dimensions() {
+		return fmt.Errorf("core: seed sVector has %d dims, engine has %d", len(sv), s.eng.Dimensions())
+	}
+	if optCost <= 0 || subOpt < 1 || math.IsNaN(optCost) || math.IsNaN(subOpt) {
+		return fmt.Errorf("core: seed with invalid optCost=%v subOpt=%v", optCost, subOpt)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := cp.Fingerprint()
+	pe, ok := s.plans[fp]
+	if !ok {
+		if s.cfg.PlanBudget > 0 && len(s.plans) >= s.cfg.PlanBudget {
+			return fmt.Errorf("core: seeding would exceed the plan budget %d", s.cfg.PlanBudget)
+		}
+		pe = &planEntry{cp: cp, fp: fp}
+		s.plans[fp] = pe
+		if len(s.plans) > s.stats.MaxPlans {
+			s.stats.MaxPlans = len(s.plans)
+		}
+	}
+	v := make([]float64, len(sv))
+	copy(v, sv)
+	s.addInstance(&instanceEntry{v: v, pp: pe, c: optCost, s: subOpt, u: 0})
+	return nil
+}

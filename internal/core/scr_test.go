@@ -1,0 +1,520 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pqotest"
+)
+
+// twoPlaneEngine builds a deterministic 2-d engine with two plans whose
+// optimality regions split the space: plan A is cheap in dimension 0, plan
+// B cheap in dimension 1.
+func twoPlaneEngine(t *testing.T) *pqotest.Engine {
+	t.Helper()
+	eng, err := pqotest.NewEngine(2, []pqotest.PlanSpec{
+		{Name: "A", Const: 1, Linear: []float64{2, 100}},
+		{Name: "B", Const: 1, Linear: []float64{100, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func mustSCR(t *testing.T, eng Engine, cfg Config) *SCR {
+	t.Helper()
+	s, err := NewSCR(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	bad := []Config{
+		{Lambda: 0.5},
+		{Lambda: 2, LambdaR: 0.5},
+		{Lambda: 2, LambdaR: 3},
+		{Lambda: 2, PlanBudget: -1},
+		{Lambda: 2, Dynamic: &DynamicLambda{Min: 0.5, Max: 2}},
+		{Lambda: 2, Dynamic: &DynamicLambda{Min: 3, Max: 2}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSCR(eng, cfg); err == nil {
+			t.Errorf("config %d (%+v) should be rejected", i, cfg)
+		}
+	}
+	if _, err := NewSCR(eng, Config{Lambda: 1}); err != nil {
+		t.Errorf("λ=1 must be accepted: %v", err)
+	}
+}
+
+func TestFirstInstanceOptimizes(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	s := mustSCR(t, eng, Config{Lambda: 2})
+	dec, err := s.Process([]float64{0.01, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Optimized || dec.Via != ViaOptimizer {
+		t.Errorf("first instance must optimize, got %+v", dec)
+	}
+	st := s.Stats()
+	if st.OptCalls != 1 || st.Instances != 1 || st.MaxPlans != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelectivityCheckReuse(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	s := mustSCR(t, eng, Config{Lambda: 2})
+	if _, err := s.Process([]float64{0.01, 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	// A nearly identical instance has G·L ≈ 1 ≤ λ: must pass the
+	// selectivity check without an optimizer call or a recost.
+	dec, err := s.Process([]float64{0.0101, 0.0099})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Optimized || dec.Via != ViaSelectivity {
+		t.Errorf("expected selectivity-check reuse, got via=%v optimized=%v", dec.Via, dec.Optimized)
+	}
+	st := s.Stats()
+	if st.OptCalls != 1 {
+		t.Errorf("numOpt = %d, want 1", st.OptCalls)
+	}
+	if st.GetPlanRecosts != 0 {
+		t.Errorf("selectivity check must not recost; got %d recosts", st.GetPlanRecosts)
+	}
+}
+
+func TestCostCheckReuse(t *testing.T) {
+	// Plan A's cost is nearly flat in dimension 0 beyond the Const term, so
+	// moving far along dimension 1 downwards (L large) fails the
+	// selectivity check but the actual recost ratio R stays small.
+	eng, err := pqotest.NewEngine(2, []pqotest.PlanSpec{
+		{Name: "A", Const: 100, Linear: []float64{1, 1}},
+		{Name: "B", Const: 5000, Linear: []float64{1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSCR(t, eng, Config{Lambda: 1.5})
+	if _, err := s.Process([]float64{0.9, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	// qc = (0.9, 0.001): L = 900, G = 1 → G·L = 900 >> λ: selectivity
+	// check fails. But R ≈ 100/101 and the optimal cost can't be much
+	// below 100 (both plans have Const ≥ 100)... Actually the check is
+	// R·L ≤ λ/S which is also huge. The cost check bound uses L on the
+	// denominator, so this reuse legitimately fails and SCR must optimize.
+	dec, err := s.Process([]float64{0.9, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Optimized {
+		t.Fatalf("expected optimizer call (cost check is conservative), got %v", dec.Via)
+	}
+	// Now move *upwards* in dimension 1 from the first instance: G large,
+	// L = 1. Selectivity check: G·L = G may exceed λ, but R = actual
+	// growth is tiny because Const dominates → cost check passes.
+	s2 := mustSCR(t, eng, Config{Lambda: 1.5})
+	if _, err := s2.Process([]float64{0.9, 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := s2.Process([]float64{0.9, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Optimized || dec2.Via != ViaCost {
+		t.Errorf("expected cost-check reuse (R small, L=1), got via=%v optimized=%v",
+			dec2.Via, dec2.Optimized)
+	}
+	if st := s2.Stats(); st.GetPlanRecosts == 0 {
+		t.Error("cost check must have recosted")
+	}
+}
+
+// TestGuaranteeProperty is the central invariant: against a BCG-compliant
+// engine, every instance SCR processes satisfies SO(q) ≤ λ.
+func TestGuaranteeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, lambda := range []float64{1.1, 1.5, 2.0} {
+		for trial := 0; trial < 5; trial++ {
+			d := 2 + rng.Intn(3)
+			eng, err := pqotest.RandomEngine(rng, d, 6+rng.Intn(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := mustSCR(t, eng, Config{Lambda: lambda})
+			for i := 0; i < 300; i++ {
+				sv := pqotest.RandomSVector(rng, d)
+				dec, err := s.Process(sv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				so := eng.PlanCost(dec.Plan, sv) / eng.OptimalCost(sv)
+				if so > lambda*(1+1e-9) {
+					t.Fatalf("λ=%v d=%d trial=%d instance=%d: SO=%v exceeds λ (via %v)",
+						lambda, d, trial, i, so, dec.Via)
+				}
+			}
+		}
+	}
+}
+
+func TestGuaranteeHoldsUnderPlanBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eng, err := pqotest.RandomEngine(rng, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSCR(t, eng, Config{Lambda: 2, PlanBudget: 2})
+	for i := 0; i < 400; i++ {
+		sv := pqotest.RandomSVector(rng, 3)
+		dec, err := s.Process(sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so := eng.PlanCost(dec.Plan, sv) / eng.OptimalCost(sv)
+		if so > 2*(1+1e-9) {
+			t.Fatalf("budget k=2 instance %d: SO=%v exceeds λ=2", i, so)
+		}
+		if st := s.Stats(); st.CurPlans > 2 {
+			t.Fatalf("plan budget violated: %d plans cached", st.CurPlans)
+		}
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Error("expected at least one eviction with k=2 over 10 plans")
+	}
+}
+
+func TestRedundancyCheckReducesPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	eng1, err := pqotest.RandomEngine(rng, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same engine contents for the second run.
+	rng2 := rand.New(rand.NewSource(13))
+	eng2, err := pqotest.RandomEngine(rng2, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRC := mustSCR(t, eng1, Config{Lambda: 2}) // λr = √2
+	storeAll := mustSCR(t, eng2, Config{Lambda: 2, StoreAlways: true})
+	seqRng := rand.New(rand.NewSource(99))
+	svs := make([][]float64, 500)
+	for i := range svs {
+		svs[i] = pqotest.RandomSVector(seqRng, 3)
+	}
+	for _, sv := range svs {
+		if _, err := withRC.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := storeAll.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := withRC.Stats(), storeAll.Stats()
+	if a.MaxPlans > b.MaxPlans {
+		t.Errorf("redundancy check stored more plans (%d) than store-always (%d)", a.MaxPlans, b.MaxPlans)
+	}
+	if a.RedundantPlansRejected == 0 {
+		t.Error("expected some redundant plans to be rejected")
+	}
+	if b.RedundantPlansRejected != 0 {
+		t.Error("store-always must not reject plans")
+	}
+}
+
+func TestCostCheckLimitBoundsRecosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	eng, err := pqotest.RandomEngine(rng, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := 3
+	s := mustSCR(t, eng, Config{Lambda: 1.1, CostCheckLimit: limit, StoreAlways: true})
+	maxPerCall := int64(0)
+	var prev int64
+	for i := 0; i < 200; i++ {
+		sv := pqotest.RandomSVector(rng, 3)
+		if _, err := s.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if delta := st.GetPlanRecosts - prev; delta > maxPerCall {
+			maxPerCall = delta
+		}
+		prev = st.GetPlanRecosts
+	}
+	if maxPerCall > int64(limit) {
+		t.Errorf("a getPlan call made %d recosts, limit is %d", maxPerCall, limit)
+	}
+}
+
+func TestCostCheckDisabled(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	s := mustSCR(t, eng, Config{Lambda: 2, CostCheckLimit: -1})
+	if _, err := s.Process([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process([]float64{0.001, 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.GetPlanRecosts != 0 {
+		t.Errorf("cost check disabled but %d recosts happened", st.GetPlanRecosts)
+	}
+}
+
+func TestDynamicLambdaLoosensCheapInstances(t *testing.T) {
+	// With dynamic λ, a cheap instance (cost << RefCost) gets λ close to
+	// Max; an expensive one (cost >> RefCost) gets λ close to Min.
+	cfg := Config{Lambda: 1.1, Dynamic: &DynamicLambda{Min: 1.1, Max: 10, RefCost: 100}}
+	if got := cfg.lambdaFor(0.01); math.Abs(got-10) > 0.01 {
+		t.Errorf("λ(cheap) = %v, want ~10", got)
+	}
+	if got := cfg.lambdaFor(100000); math.Abs(got-1.1) > 0.01 {
+		t.Errorf("λ(expensive) = %v, want ~1.1", got)
+	}
+	// End-to-end: dynamic λ must not increase optimizer calls relative to
+	// static λmin.
+	rng := rand.New(rand.NewSource(23))
+	engDyn, err := pqotest.RandomEngine(rng, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(23))
+	engStat, err := pqotest.RandomEngine(rng2, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := mustSCR(t, engDyn, Config{Lambda: 1.1,
+		Dynamic: &DynamicLambda{Min: 1.1, Max: 10, RefCost: 50}})
+	stat := mustSCR(t, engStat, Config{Lambda: 1.1})
+	seq := rand.New(rand.NewSource(31))
+	for i := 0; i < 400; i++ {
+		sv := pqotest.RandomSVector(seq, 3)
+		if _, err := dyn.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stat.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dyn.Stats().OptCalls > stat.Stats().OptCalls {
+		t.Errorf("dynamic λ made more optimizer calls (%d) than static λmin (%d)",
+			dyn.Stats().OptCalls, stat.Stats().OptCalls)
+	}
+	if !strings.Contains(dyn.Name(), "dyn") {
+		t.Errorf("dynamic SCR name = %q", dyn.Name())
+	}
+}
+
+func TestViolationDetectionQuarantines(t *testing.T) {
+	// Plan A has a cost jump in dimension 0 beyond 0.5 — a BCG violation.
+	eng, err := pqotest.NewEngine(2, []pqotest.PlanSpec{
+		{Name: "jumpy", Const: 10, Linear: []float64{1, 1}, JumpDim: 0, JumpAt: 0.5, JumpAmount: 1e6},
+		{Name: "flat", Const: 100000, Linear: []float64{1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ tight enough that G·L = 1.5 fails the selectivity check and the
+	// instance reaches the cost check, where the jump is observable.
+	s := mustSCR(t, eng, Config{Lambda: 1.2, DetectViolations: true})
+	if _, err := s.Process([]float64{0.4, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	// Crossing the jump: the recost ratio exceeds G → quarantine.
+	if _, err := s.Process([]float64{0.6, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Violations == 0 {
+		t.Error("expected a BCG violation to be detected")
+	}
+}
+
+func TestSweepRedundantPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	eng, err := pqotest.RandomEngine(rng, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store-always accumulates redundant plans; the Appendix F sweep should
+	// then find some to drop.
+	s := mustSCR(t, eng, Config{Lambda: 2, StoreAlways: true})
+	for i := 0; i < 300; i++ {
+		if _, err := s.Process(pqotest.RandomSVector(rng, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats().CurPlans
+	dropped, err := s.SweepRedundantPlans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats().CurPlans
+	if after != before-dropped {
+		t.Errorf("plans %d -> %d but dropped=%d", before, after, dropped)
+	}
+	// The guarantee must survive the sweep.
+	for i := 0; i < 200; i++ {
+		sv := pqotest.RandomSVector(rng, 3)
+		dec, err := s.Process(sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so := eng.PlanCost(dec.Plan, sv) / eng.OptimalCost(sv)
+		if so > 2*(1+1e-9) {
+			t.Fatalf("post-sweep SO=%v exceeds λ=2", so)
+		}
+	}
+}
+
+func TestSCRSavesOptimizerCallsOnClusteredWorkload(t *testing.T) {
+	// Instances drawn from a few tight clusters: after warm-up, nearly all
+	// should be served from the cache.
+	rng := rand.New(rand.NewSource(43))
+	eng, err := pqotest.RandomEngine(rng, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSCR(t, eng, Config{Lambda: 2})
+	centers := [][]float64{{0.001, 0.002}, {0.3, 0.4}, {0.05, 0.9}}
+	n := 300
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		sv := []float64{
+			math.Min(1, c[0]*(0.95+0.1*rng.Float64())),
+			math.Min(1, c[1]*(0.95+0.1*rng.Float64())),
+		}
+		if _, err := s.Process(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if frac := float64(st.OptCalls) / float64(n); frac > 0.1 {
+		t.Errorf("numOpt fraction = %v, want <= 0.1 on clustered workload", frac)
+	}
+}
+
+func TestNumInstancesTracksOptimizedOnly(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	s := mustSCR(t, eng, Config{Lambda: 2})
+	if _, err := s.Process([]float64{0.01, 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Process([]float64{0.01, 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.NumInstances(); got != 1 {
+		t.Errorf("NumInstances = %d, want 1 (only optimized instances stored)", got)
+	}
+}
+
+func TestStatsMemoryAccounting(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	s := mustSCR(t, eng, Config{Lambda: 1, StoreAlways: true})
+	if _, err := s.Process([]float64{0.001, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process([]float64{0.9, 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.MemoryBytes <= 0 {
+		t.Error("memory accounting must be positive with cached plans")
+	}
+	if st.CurPlans != 2 {
+		t.Errorf("CurPlans = %d, want 2 (opposite corners need both plans)", st.CurPlans)
+	}
+}
+
+func TestSeedInstanceValidation(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	s := mustSCR(t, eng, Config{Lambda: 2})
+	cp, c, err := eng.Optimize([]float64{0.01, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SeedInstance([]float64{0.01, 0.01}, nil, c, 1); err == nil {
+		t.Error("nil plan should fail")
+	}
+	if err := s.SeedInstance([]float64{0.01}, cp, c, 1); err == nil {
+		t.Error("wrong dims should fail")
+	}
+	if err := s.SeedInstance([]float64{0.01, 0.01}, cp, 0, 1); err == nil {
+		t.Error("zero optCost should fail")
+	}
+	if err := s.SeedInstance([]float64{0.01, 0.01}, cp, c, 0.5); err == nil {
+		t.Error("subOpt < 1 should fail")
+	}
+	if err := s.SeedInstance([]float64{0.01, 0.01}, cp, c, 1); err != nil {
+		t.Fatalf("valid seed rejected: %v", err)
+	}
+	if s.Stats().CurPlans != 1 || s.NumInstances() != 1 {
+		t.Errorf("seed not recorded: %+v", s.Stats())
+	}
+	// Budget enforcement on seeding.
+	s2 := mustSCR(t, eng, Config{Lambda: 2, PlanBudget: 1})
+	if err := s2.SeedInstance([]float64{0.01, 0.01}, cp, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	other, c2, err := eng.Optimize([]float64{0.9, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint() == cp.Fingerprint() {
+		t.Skip("engine produced one plan; budget path not exercisable")
+	}
+	if err := s2.SeedInstance([]float64{0.9, 0.9}, other, c2, 1); err == nil {
+		t.Error("over-budget seed should fail")
+	}
+}
+
+func TestSeededGuaranteeHolds(t *testing.T) {
+	// Seeding with true sub-optimality bounds must preserve SO ≤ λ.
+	rng := rand.New(rand.NewSource(31))
+	eng, err := pqotest.RandomEngine(rng, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSCR(t, eng, Config{Lambda: 2})
+	// Offline phase: probe a grid, seed each point's optimal plan.
+	for _, x := range []float64{0.001, 0.01, 0.1, 0.5} {
+		for _, y := range []float64{0.001, 0.01, 0.1, 0.5} {
+			sv := []float64{x, y}
+			cp, c, err := eng.Optimize(sv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SeedInstance(sv, cp, c, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 300; i++ {
+		sv := pqotest.RandomSVector(rng, 2)
+		dec, err := s.Process(sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so := eng.PlanCost(dec.Plan, sv) / eng.OptimalCost(sv)
+		if so > 2*(1+1e-9) {
+			t.Fatalf("seeded cache instance %d: SO=%v exceeds λ=2 (via %v)", i, so, dec.Via)
+		}
+	}
+	// Seeding should have saved optimizer calls vs a cold run.
+	if frac := float64(s.Stats().OptCalls) / 300; frac > 0.5 {
+		t.Errorf("seeded SCR still optimized %.0f%% of instances", frac*100)
+	}
+}

@@ -1,0 +1,111 @@
+// Package core implements the paper's primary contribution: the SCR online
+// PQO technique (Selectivity check, Cost check, Redundancy check) with its
+// plan cache, λ-optimality guarantee machinery, plan-budget enforcement,
+// dynamic λ (Appendix D), BCG-violation detection (Appendix G) and the
+// existing-plan redundancy sweep (Appendix F).
+//
+// It also defines the Technique interface shared with the baseline
+// techniques of package baselines, and the selectivity-factor arithmetic
+// (G, L) of §5.3 used by both.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Check identifies how a plan decision was made for an instance.
+type Check int
+
+const (
+	// ViaOptimizer means a full optimizer call was made.
+	ViaOptimizer Check = iota
+	// ViaSelectivity means the selectivity check inferred a cached plan.
+	ViaSelectivity
+	// ViaCost means the recost-based cost check inferred a cached plan.
+	ViaCost
+	// ViaInference means a baseline-specific inference reused a cached
+	// plan (ellipse, density, range, PCM box, optimize-once reuse...).
+	ViaInference
+)
+
+// String names the check for reports.
+func (c Check) String() string {
+	switch c {
+	case ViaOptimizer:
+		return "optimizer"
+	case ViaSelectivity:
+		return "selectivity-check"
+	case ViaCost:
+		return "cost-check"
+	case ViaInference:
+		return "inference"
+	default:
+		return fmt.Sprintf("check(%d)", int(c))
+	}
+}
+
+// Decision is the outcome of processing one query instance.
+type Decision struct {
+	// Plan is the plan the technique selected for execution.
+	Plan *engine.CachedPlan
+	// Optimized reports whether a full optimizer call was made.
+	Optimized bool
+	// Via records which mechanism produced the plan.
+	Via Check
+}
+
+// Stats are cumulative counters a technique reports. Counter semantics
+// follow §2.1's metrics.
+type Stats struct {
+	// Instances processed so far.
+	Instances int64
+	// OptCalls is numOpt: full optimizer calls incurred.
+	OptCalls int64
+	// GetPlanRecosts counts Recost invocations on the critical path
+	// (the cost check of getPlan).
+	GetPlanRecosts int64
+	// ManageRecosts counts Recost invocations off the critical path
+	// (redundancy checks in manageCache).
+	ManageRecosts int64
+	// SelChecks counts instance-list entries examined by selectivity
+	// checks (getPlan scanning overhead).
+	SelChecks int64
+	// CurPlans is the number of plans currently cached; MaxPlans is the
+	// high-water mark (the paper's numPlans).
+	CurPlans int
+	MaxPlans int
+	// MemoryBytes estimates current plan-cache memory (§6.1).
+	MemoryBytes int64
+	// Violations counts BCG/PCM violations detected via Appendix G.
+	Violations int64
+	// Evictions counts plans dropped to enforce the plan budget.
+	Evictions int64
+	// RedundantPlansRejected counts new plans discarded by the
+	// redundancy check.
+	RedundantPlansRejected int64
+}
+
+// Technique is an online PQO technique processing a stream of query
+// instances (identified by their selectivity vectors) for one template.
+type Technique interface {
+	// Name identifies the technique and its configuration, e.g. "SCR(2)".
+	Name() string
+	// Process decides a plan for the instance with selectivity vector sv.
+	Process(sv []float64) (*Decision, error)
+	// Stats returns cumulative counters.
+	Stats() Stats
+}
+
+// Engine is the database-engine surface a technique requires (§4.2): a full
+// optimizer call and the Recost API. engine.TemplateEngine implements it;
+// tests substitute synthetic engines with closed-form cost functions.
+type Engine interface {
+	// Dimensions returns the template's parameter count d.
+	Dimensions() int
+	// Optimize returns the optimal plan and its cost for sv.
+	Optimize(sv []float64) (*engine.CachedPlan, float64, error)
+	// Recost returns the cost of a previously optimized plan at sv.
+	Recost(cp *engine.CachedPlan, sv []float64) (float64, error)
+}

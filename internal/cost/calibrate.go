@@ -1,0 +1,138 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Calibration is a least-squares affine map from optimizer cost units to
+// wall-clock seconds: seconds ≈ Slope·cost + Intercept. Commercial
+// optimizers maintain exactly such a mapping to convert their abstract
+// units into time estimates; here it also serves as a substrate check —
+// the Table 3 experiment is only meaningful if estimated cost correlates
+// with measured execution time.
+type Calibration struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// N is the number of (cost, seconds) observations fitted.
+	N int
+}
+
+// Fit computes the least-squares calibration from paired observations. It
+// returns an error for fewer than two points or degenerate (constant cost)
+// inputs.
+func Fit(costs, seconds []float64) (*Calibration, error) {
+	if len(costs) != len(seconds) {
+		return nil, fmt.Errorf("cost: %d costs vs %d timings", len(costs), len(seconds))
+	}
+	n := len(costs)
+	if n < 2 {
+		return nil, fmt.Errorf("cost: need at least 2 observations, got %d", n)
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		if math.IsNaN(costs[i]) || math.IsNaN(seconds[i]) ||
+			math.IsInf(costs[i], 0) || math.IsInf(seconds[i], 0) {
+			return nil, fmt.Errorf("cost: non-finite observation at index %d", i)
+		}
+		sx += costs[i]
+		sy += seconds[i]
+		sxx += costs[i] * costs[i]
+		sxy += costs[i] * seconds[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("cost: all observations have the same cost; cannot fit a slope")
+	}
+	slope := (float64(n)*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / float64(n)
+
+	// R².
+	meanY := sy / float64(n)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		pred := slope*costs[i] + intercept
+		ssRes += (seconds[i] - pred) * (seconds[i] - pred)
+		ssTot += (seconds[i] - meanY) * (seconds[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &Calibration{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// Predict converts a cost estimate into seconds under the calibration.
+func (c *Calibration) Predict(cost float64) float64 {
+	return c.Slope*cost + c.Intercept
+}
+
+// PearsonR returns the Pearson correlation coefficient between two series,
+// used by the substrate-validation tests.
+func PearsonR(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("cost: correlation needs two equal-length series of >= 2 points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range xs {
+		a, b := xs[i]-mx, ys[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0, fmt.Errorf("cost: zero variance series")
+	}
+	return num / math.Sqrt(dx*dy), nil
+}
+
+// SpearmanRho returns the Spearman rank correlation between two series:
+// Pearson correlation of their ranks. For validating a cost model against
+// measured times it is the more robust statistic — what matters for plan
+// choice is that costlier plans run longer (monotone agreement), not that
+// the relationship is linear.
+func SpearmanRho(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("cost: correlation needs two equal-length series of >= 2 points")
+	}
+	return PearsonR(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks (ties share the mean of their positions).
+func ranks(vals []float64) []float64 {
+	type iv struct {
+		v float64
+		i int
+	}
+	sorted := make([]iv, len(vals))
+	for i, v := range vals {
+		sorted[i] = iv{v: v, i: i}
+	}
+	for a := 1; a < len(sorted); a++ {
+		for b := a; b > 0 && sorted[b].v < sorted[b-1].v; b-- {
+			sorted[b], sorted[b-1] = sorted[b-1], sorted[b]
+		}
+	}
+	out := make([]float64, len(vals))
+	for a := 0; a < len(sorted); {
+		b := a
+		for b < len(sorted) && sorted[b].v == sorted[a].v {
+			b++
+		}
+		avg := float64(a+b-1)/2 + 1
+		for k := a; k < b; k++ {
+			out[sorted[k].i] = avg
+		}
+		a = b
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversExactLine(t *testing.T) {
+	costs := []float64{1, 2, 3, 4, 5}
+	secs := make([]float64, len(costs))
+	for i, c := range costs {
+		secs[i] = 0.5*c + 3
+	}
+	cal, err := Fit(costs, secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.Slope-0.5) > 1e-12 || math.Abs(cal.Intercept-3) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (0.5, 3)", cal.Slope, cal.Intercept)
+	}
+	if cal.R2 < 1-1e-12 {
+		t.Errorf("R2 = %v, want 1 for exact line", cal.R2)
+	}
+	if got := cal.Predict(10); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Predict(10) = %v, want 8", got)
+	}
+	if cal.N != 5 {
+		t.Errorf("N = %d", cal.N)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant costs should fail")
+	}
+	if _, err := Fit([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN should fail")
+	}
+	if _, err := Fit([]float64{1, math.Inf(1)}, []float64{1, 2}); err == nil {
+		t.Error("Inf should fail")
+	}
+}
+
+// Property: for any non-degenerate data, the least-squares fit's residual
+// sum is no worse than the flat-line (slope 0, mean intercept) fit.
+func TestFitBeatsMeanProperty(t *testing.T) {
+	f := func(raw [6]int16) bool {
+		costs := make([]float64, 6)
+		secs := make([]float64, 6)
+		for i, v := range raw {
+			costs[i] = float64(i + 1)
+			secs[i] = float64(v%100) / 10
+		}
+		cal, err := Fit(costs, secs)
+		if err != nil {
+			return false
+		}
+		var mean float64
+		for _, s := range secs {
+			mean += s
+		}
+		mean /= float64(len(secs))
+		var ssFit, ssMean float64
+		for i := range costs {
+			d1 := secs[i] - cal.Predict(costs[i])
+			d2 := secs[i] - mean
+			ssFit += d1 * d1
+			ssMean += d2 * d2
+		}
+		return ssFit <= ssMean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r, err := PearsonR(xs, []float64{2, 4, 6, 8}); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation: r=%v err=%v", r, err)
+	}
+	if r, err := PearsonR(xs, []float64{8, 6, 4, 2}); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation: r=%v err=%v", r, err)
+	}
+	if _, err := PearsonR(xs, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("zero-variance should fail")
+	}
+	if _, err := PearsonR([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestSpearmanRho(t *testing.T) {
+	// Monotone but non-linear: rank correlation 1, Pearson below 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 10, 100, 1000, 10000}
+	rho, err := SpearmanRho(xs, ys)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("monotone series: rho=%v err=%v, want 1", rho, err)
+	}
+	r, _ := PearsonR(xs, ys)
+	if r >= 1-1e-9 {
+		t.Errorf("Pearson on exponential series = %v, expected < 1", r)
+	}
+	// Ties get average ranks.
+	rho2, err := SpearmanRho([]float64{1, 1, 2}, []float64{5, 5, 9})
+	if err != nil || rho2 < 0.99 {
+		t.Errorf("tied series: rho=%v err=%v", rho2, err)
+	}
+	if _, err := SpearmanRho(xs, ys[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}

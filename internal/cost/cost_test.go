@@ -1,0 +1,220 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+)
+
+func table(rows int64, rowBytes int) *catalog.Table {
+	return &catalog.Table{Name: "t", Rows: rows, RowBytes: rowBytes,
+		Columns: []catalog.Column{{Name: "a", Max: 1, Distinct: 1}}}
+}
+
+func TestTableScanCostIndependentOfSelectivity(t *testing.T) {
+	m := DefaultModel()
+	tab := table(1_000_000, 100)
+	c := m.TableScanCost(tab)
+	if c <= 0 {
+		t.Fatalf("scan cost = %v, want > 0", c)
+	}
+	// Bigger tables cost more.
+	if m.TableScanCost(table(2_000_000, 100)) <= c {
+		t.Error("scan cost not increasing in table size")
+	}
+}
+
+func TestIndexScanLinearInSelectivity(t *testing.T) {
+	m := DefaultModel()
+	tab := table(1_000_000, 100)
+	for _, clustered := range []bool{true, false} {
+		c1 := m.IndexScanCost(tab, clustered, 0.01)
+		c2 := m.IndexScanCost(tab, clustered, 0.02)
+		c4 := m.IndexScanCost(tab, clustered, 0.04)
+		// Doubling selectivity should not more than double cost (BCG with
+		// fi(α)=α) and should strictly increase it.
+		if c2 <= c1 || c4 <= c2 {
+			t.Errorf("clustered=%v: index scan cost not increasing: %v %v %v", clustered, c1, c2, c4)
+		}
+		if c2 > 2*c1+1e-9 || c4 > 2*c2+1e-9 {
+			t.Errorf("clustered=%v: index scan violates BCG fi(α)=α: %v %v %v", clustered, c1, c2, c4)
+		}
+	}
+}
+
+func TestIndexScanClusteredCheaperAtHighSelectivity(t *testing.T) {
+	m := DefaultModel()
+	tab := table(1_000_000, 100)
+	sel := 0.5
+	if m.IndexScanCost(tab, true, sel) >= m.IndexScanCost(tab, false, sel) {
+		t.Error("clustered index scan should beat secondary at high selectivity")
+	}
+}
+
+func TestIndexVsTableScanCrossover(t *testing.T) {
+	// The defining behaviour for plan diversity: a secondary index scan wins
+	// at low selectivity and a full scan wins at high selectivity.
+	m := DefaultModel()
+	tab := table(1_000_000, 100)
+	full := m.TableScanCost(tab)
+	if m.IndexScanCost(tab, false, 1e-5) >= full {
+		t.Error("index scan should win at selectivity 1e-5")
+	}
+	if m.IndexScanCost(tab, false, 0.9) <= full {
+		t.Error("full scan should win at selectivity 0.9")
+	}
+}
+
+func TestNLJoinGrowsAsProduct(t *testing.T) {
+	m := DefaultModel()
+	base := m.NLJoinCost(1000, 1000)
+	both := m.NLJoinCost(2000, 2000)
+	// Quadrupling the product should roughly quadruple the cost: this is
+	// the s1·s2 growth that makes BCG tight for NLJ (§5.4).
+	if ratio := both / base; ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("NLJ growth ratio = %v, want ~4", ratio)
+	}
+	// One-sided growth bounded by α (here α=2).
+	one := m.NLJoinCost(2000, 1000)
+	if one > 2*base+1e-9 {
+		t.Errorf("NLJ one-sided growth %v exceeds α·C = %v", one, 2*base)
+	}
+}
+
+func TestHashJoinGrowsAsSum(t *testing.T) {
+	m := DefaultModel()
+	base := m.HashJoinCost(1000, 1000, 100)
+	both := m.HashJoinCost(2000, 2000, 100)
+	if ratio := both / base; math.Abs(ratio-2) > 0.01 {
+		t.Errorf("hash join growth ratio = %v, want ~2 (s1+s2 shape)", ratio)
+	}
+}
+
+func TestHashJoinSpill(t *testing.T) {
+	m := DefaultModel()
+	small := m.HashJoinCost(1000, 1000, 100)
+	// A build side far beyond MemPages*PageBytes must incur the spill factor.
+	hugeInner := m.MemPages * m.PageBytes / 100 * 10
+	spilled := m.HashJoinCost(1000, hugeInner, 100)
+	unspilledEquiv := 1000*m.HashProbe + hugeInner*m.HashBuild
+	if spilled <= unspilledEquiv {
+		t.Error("spilling hash join should cost more than memory-resident formula")
+	}
+	_ = small
+}
+
+func TestSortCostSuperlinear(t *testing.T) {
+	m := DefaultModel()
+	c1 := m.SortCost(1000)
+	c2 := m.SortCost(2000)
+	if c2 <= 2*c1 {
+		t.Errorf("sort should be super-linear: SortCost(2000)=%v <= 2*SortCost(1000)=%v", c2, 2*c1)
+	}
+	// But bounded by α² for α=2 (the paper's polynomial bounding function).
+	if c2 > 4*c1 {
+		t.Errorf("sort growth %v exceeds α²·C = %v", c2, 4*c1)
+	}
+	if m.SortCost(0) <= 0 || m.SortCost(1) <= 0 {
+		t.Error("tiny sorts should have positive cost")
+	}
+}
+
+func TestMergeJoinSortAvoidance(t *testing.T) {
+	m := DefaultModel()
+	unsorted := m.MergeJoinCost(10000, 10000, false, false)
+	sorted := m.MergeJoinCost(10000, 10000, true, true)
+	half := m.MergeJoinCost(10000, 10000, true, false)
+	if !(sorted < half && half < unsorted) {
+		t.Errorf("merge join sort avoidance broken: sorted=%v half=%v unsorted=%v", sorted, half, unsorted)
+	}
+}
+
+func TestAggCosts(t *testing.T) {
+	m := DefaultModel()
+	if m.HashAggCost(1000) <= 0 || m.StreamAggCost(1000) <= 0 {
+		t.Error("aggregation costs must be positive")
+	}
+	// Stream agg pays a sort, so it must exceed hash agg at scale.
+	if m.StreamAggCost(100000) <= m.HashAggCost(100000) {
+		t.Error("stream agg should cost more than hash agg at scale")
+	}
+}
+
+func TestFilterCost(t *testing.T) {
+	m := DefaultModel()
+	if got := m.FilterCost(1000, 0); got != 0 {
+		t.Errorf("FilterCost with 0 preds = %v, want 0", got)
+	}
+	if m.FilterCost(1000, 2) != 2*m.FilterCost(1000, 1) {
+		t.Error("FilterCost not linear in predicate count")
+	}
+}
+
+// Property: all operator costs are non-negative and monotone in input
+// cardinality — the PCM assumption the paper extends.
+func TestCostsMonotoneProperty(t *testing.T) {
+	m := DefaultModel()
+	tab := table(10_000_000, 120)
+	f := func(s1Raw, s2Raw uint16) bool {
+		s1 := float64(s1Raw%1000+1) / 1000
+		s2 := float64(s2Raw%1000+1) / 1000
+		lo, hi := s1, s2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		n1 := lo * 1e6
+		n2 := hi * 1e6
+		checks := []struct{ a, b float64 }{
+			{m.IndexScanCost(tab, false, lo), m.IndexScanCost(tab, false, hi)},
+			{m.IndexScanCost(tab, true, lo), m.IndexScanCost(tab, true, hi)},
+			{m.NLJoinCost(n1, n1), m.NLJoinCost(n2, n2)},
+			{m.HashJoinCost(n1, n1, 100), m.HashJoinCost(n2, n2, 100)},
+			{m.SortCost(n1), m.SortCost(n2)},
+			{m.HashAggCost(n1), m.HashAggCost(n2)},
+			{m.StreamAggCost(n1), m.StreamAggCost(n2)},
+		}
+		for _, c := range checks {
+			if c.a < 0 || c.b < 0 || c.a > c.b+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BCG with fi(α)=α holds for index scans, NLJ (per dimension) and
+// hash joins in this model: scaling one input's selectivity by α scales the
+// operator cost by at most α.
+func TestBCGComplianceProperty(t *testing.T) {
+	m := DefaultModel()
+	tab := table(10_000_000, 120)
+	f := func(selRaw, alphaRaw uint16) bool {
+		sel := float64(selRaw%999+1) / 1000
+		alpha := 1 + float64(alphaRaw%400)/100 // α in [1, 5)
+		if sel*alpha > 1 {
+			return true
+		}
+		// Index scan.
+		if m.IndexScanCost(tab, false, sel*alpha) > alpha*m.IndexScanCost(tab, false, sel)+1e-6 {
+			return false
+		}
+		// NLJ: scale one side.
+		n := sel * 1e6
+		if m.NLJoinCost(n*alpha, n) > alpha*m.NLJoinCost(n, n)+1e-6 {
+			return false
+		}
+		// Hash join: scale one side (stay below spill region).
+		if m.HashJoinCost(n*alpha, n, 10) > alpha*m.HashJoinCost(n, n, 10)+1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

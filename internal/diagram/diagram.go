@@ -1,0 +1,278 @@
+// Package diagram builds plan diagrams — the per-cell optimal-plan maps
+// over a 2-d selectivity grid introduced by Reddy & Haritsa and central to
+// the PQO literature the paper builds on — and implements the "anorexic"
+// reduction of Harish et al. [8 in the paper]: collapsing a diagram to the
+// minimal plan set that keeps every cell within a cost-increase threshold
+// λ. The reduction is the offline complement of SCR's online redundancy
+// check; its output cardinality explains why a small plan cache can cover
+// a large selectivity space.
+package diagram
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Diagram is a plan diagram over a log-scaled 2-d selectivity grid.
+type Diagram struct {
+	// Grid is the resolution per axis; Lo/Hi the selectivity range.
+	Grid   int
+	Lo, Hi float64
+	// Plans are the distinct optimal plans, in first-seen order.
+	Plans []*engine.CachedPlan
+	// Cell[y][x] is the index into Plans of the winner at that grid point;
+	// WinnerCost[y][x] its optimal cost.
+	Cell       [][]int
+	WinnerCost [][]float64
+
+	eng *engine.TemplateEngine
+}
+
+// Build optimizes every grid point of a 2-d template.
+func Build(eng *engine.TemplateEngine, grid int, lo, hi float64) (*Diagram, error) {
+	if eng.Dimensions() != 2 {
+		return nil, fmt.Errorf("diagram: need a 2-d template, have d=%d", eng.Dimensions())
+	}
+	if grid < 2 {
+		return nil, fmt.Errorf("diagram: grid %d too small", grid)
+	}
+	if lo <= 0 || hi <= lo || hi > 1 {
+		return nil, fmt.Errorf("diagram: invalid selectivity range [%v, %v]", lo, hi)
+	}
+	d := &Diagram{Grid: grid, Lo: lo, Hi: hi, eng: eng}
+	index := map[string]int{}
+	d.Cell = make([][]int, grid)
+	d.WinnerCost = make([][]float64, grid)
+	for y := 0; y < grid; y++ {
+		d.Cell[y] = make([]int, grid)
+		d.WinnerCost[y] = make([]float64, grid)
+		for x := 0; x < grid; x++ {
+			sv := []float64{d.Axis(x), d.Axis(y)}
+			cp, c, err := eng.Optimize(sv)
+			if err != nil {
+				return nil, fmt.Errorf("diagram: optimizing cell (%d,%d): %w", x, y, err)
+			}
+			fp := cp.Fingerprint()
+			idx, seen := index[fp]
+			if !seen {
+				idx = len(d.Plans)
+				index[fp] = idx
+				d.Plans = append(d.Plans, cp)
+			}
+			d.Cell[y][x] = idx
+			d.WinnerCost[y][x] = c
+		}
+	}
+	return d, nil
+}
+
+// Axis maps a grid coordinate to its selectivity value (log scale).
+func (d *Diagram) Axis(i int) float64 {
+	t := float64(i) / float64(d.Grid-1)
+	return math.Exp(math.Log(d.Lo) + t*(math.Log(d.Hi)-math.Log(d.Lo)))
+}
+
+// NumPlans returns the diagram's plan cardinality.
+func (d *Diagram) NumPlans() int { return len(d.Plans) }
+
+// CellCounts returns the number of cells won by each plan.
+func (d *Diagram) CellCounts() []int {
+	counts := make([]int, len(d.Plans))
+	for _, row := range d.Cell {
+		for _, idx := range row {
+			counts[idx]++
+		}
+	}
+	return counts
+}
+
+// Reduce performs the anorexic reduction: it returns a new Diagram whose
+// cells are reassigned to a subset of plans such that every cell's cost is
+// within the factor lambda of its original winner cost. The greedy
+// "swallowing" strategy of Harish et al. is used: repeatedly retire the
+// plan with the fewest cells whose cells can all be λ-covered by surviving
+// plans.
+func (d *Diagram) Reduce(lambda float64) (*Diagram, error) {
+	if lambda < 1 {
+		return nil, fmt.Errorf("diagram: reduction threshold %v must be >= 1", lambda)
+	}
+	// costs[p][y][x]: plan p recosted at every cell (computed lazily, one
+	// plan at a time, cached).
+	costCache := make([][][]float64, len(d.Plans))
+	planCost := func(p, y, x int) (float64, error) {
+		if costCache[p] == nil {
+			grid := make([][]float64, d.Grid)
+			for yy := 0; yy < d.Grid; yy++ {
+				grid[yy] = make([]float64, d.Grid)
+				for xx := 0; xx < d.Grid; xx++ {
+					c, err := d.eng.Recost(d.Plans[p], []float64{d.Axis(xx), d.Axis(yy)})
+					if err != nil {
+						return 0, err
+					}
+					grid[yy][xx] = c
+				}
+			}
+			costCache[p] = grid
+		}
+		return costCache[p][y][x], nil
+	}
+
+	alive := make([]bool, len(d.Plans))
+	for i := range alive {
+		alive[i] = true
+	}
+	assign := make([][]int, d.Grid)
+	for y := range assign {
+		assign[y] = make([]int, d.Grid)
+		copy(assign[y], d.Cell[y])
+	}
+
+	for {
+		// Candidate victim: the alive plan with the fewest assigned cells
+		// whose every cell can be re-covered within λ by another alive plan.
+		counts := make([]int, len(d.Plans))
+		for y := 0; y < d.Grid; y++ {
+			for x := 0; x < d.Grid; x++ {
+				counts[assign[y][x]]++
+			}
+		}
+		type victim struct {
+			p     int
+			cells int
+		}
+		var order []victim
+		for p, a := range alive {
+			if a && counts[p] > 0 {
+				order = append(order, victim{p: p, cells: counts[p]})
+			}
+		}
+		// Smallest region first.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && order[j].cells < order[j-1].cells; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		retired := false
+		for _, v := range order {
+			if countAlive(alive) <= 1 {
+				break
+			}
+			// Try to re-cover every cell of v.p.
+			type move struct{ y, x, to int }
+			var moves []move
+			ok := true
+			for y := 0; y < d.Grid && ok; y++ {
+				for x := 0; x < d.Grid && ok; x++ {
+					if assign[y][x] != v.p {
+						continue
+					}
+					found := false
+					for q, qa := range alive {
+						if !qa || q == v.p {
+							continue
+						}
+						c, err := planCost(q, y, x)
+						if err != nil {
+							return nil, err
+						}
+						if c <= lambda*d.WinnerCost[y][x] {
+							moves = append(moves, move{y: y, x: x, to: q})
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, m := range moves {
+				assign[m.y][m.x] = m.to
+			}
+			alive[v.p] = false
+			retired = true
+			break
+		}
+		if !retired {
+			break
+		}
+	}
+
+	// Repack the surviving plans.
+	out := &Diagram{Grid: d.Grid, Lo: d.Lo, Hi: d.Hi, eng: d.eng}
+	remap := make([]int, len(d.Plans))
+	for p, a := range alive {
+		remap[p] = -1
+		if a {
+			remap[p] = len(out.Plans)
+			out.Plans = append(out.Plans, d.Plans[p])
+		}
+	}
+	out.Cell = make([][]int, d.Grid)
+	out.WinnerCost = make([][]float64, d.Grid)
+	for y := 0; y < d.Grid; y++ {
+		out.Cell[y] = make([]int, d.Grid)
+		out.WinnerCost[y] = make([]float64, d.Grid)
+		copy(out.WinnerCost[y], d.WinnerCost[y])
+		for x := 0; x < d.Grid; x++ {
+			idx := remap[assign[y][x]]
+			if idx < 0 {
+				return nil, fmt.Errorf("diagram: internal error: cell assigned to retired plan")
+			}
+			out.Cell[y][x] = idx
+		}
+	}
+	return out, nil
+}
+
+func countAlive(alive []bool) int {
+	n := 0
+	for _, a := range alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSubOptimality returns the worst Cost(assigned, cell)/WinnerCost over
+// the diagram — 1.0 for an unreduced diagram, ≤ λ after Reduce(λ).
+func (d *Diagram) MaxSubOptimality() (float64, error) {
+	worst := 1.0
+	for y := 0; y < d.Grid; y++ {
+		for x := 0; x < d.Grid; x++ {
+			c, err := d.eng.Recost(d.Plans[d.Cell[y][x]], []float64{d.Axis(x), d.Axis(y)})
+			if err != nil {
+				return 0, err
+			}
+			if so := c / d.WinnerCost[y][x]; so > worst {
+				worst = so
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Render draws the diagram as ASCII art, one letter per plan.
+func (d *Diagram) Render() string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	var b strings.Builder
+	for y := d.Grid - 1; y >= 0; y-- {
+		for x := 0; x < d.Grid; x++ {
+			idx := d.Cell[y][x]
+			if idx < len(letters) {
+				b.WriteByte(letters[idx])
+			} else {
+				b.WriteByte('?')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

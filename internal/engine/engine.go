@@ -1,0 +1,160 @@
+// Package engine exposes the database-engine surface the paper's online PQO
+// techniques require (§4.2): for one query template, a full optimizer call,
+// a selectivity-vector computation, and an efficient Recost API — together
+// with wall-clock accounting that the experiments (notably Table 3) report.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// CachedPlan is the unit stored in a PQO plan cache: the physical plan, its
+// shrunken-memo recost representation (Appendix B), and its structural
+// fingerprint.
+type CachedPlan struct {
+	Plan *plan.Plan
+	SM   *memo.ShrunkenMemo
+}
+
+// Fingerprint returns the plan's structural identity.
+func (cp *CachedPlan) Fingerprint() string { return cp.Plan.Fingerprint() }
+
+// MemoryBytes estimates the plan-cache memory charged to this plan (§6.1).
+// It tolerates plans without a shrunken memo (used by synthetic test
+// engines).
+func (cp *CachedPlan) MemoryBytes() int {
+	n := len(cp.Plan.Fingerprint())
+	if cp.SM != nil {
+		n += cp.SM.Size()
+	}
+	return n
+}
+
+// TemplateEngine binds an optimizer to one query template. All PQO
+// techniques for that template share one TemplateEngine.
+type TemplateEngine struct {
+	Tpl *query.Template
+	Opt *memo.Optimizer
+
+	mu          sync.Mutex
+	optTime     time.Duration
+	recostTime  time.Duration
+	optCalls    int64
+	recostCalls int64
+}
+
+// NewTemplateEngine builds an engine for tpl over an existing optimizer.
+func NewTemplateEngine(tpl *query.Template, opt *memo.Optimizer) (*TemplateEngine, error) {
+	if err := tpl.Validate(); err != nil {
+		return nil, err
+	}
+	return &TemplateEngine{Tpl: tpl, Opt: opt}, nil
+}
+
+// Dimensions returns the template's parameter count d.
+func (e *TemplateEngine) Dimensions() int { return e.Tpl.Dimensions() }
+
+// Optimize performs a full optimizer call for selectivity vector sv,
+// returning the winning plan (with its recost representation) and its cost.
+func (e *TemplateEngine) Optimize(sv []float64) (*CachedPlan, float64, error) {
+	start := time.Now()
+	p, c, err := e.Opt.Optimize(e.Tpl, sv)
+	if err != nil {
+		return nil, 0, err
+	}
+	sm, err := memo.NewShrunkenMemo(e.Opt, p, e.Tpl)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.mu.Lock()
+	e.optTime += time.Since(start)
+	e.optCalls++
+	e.mu.Unlock()
+	return &CachedPlan{Plan: p, SM: sm}, c, nil
+}
+
+// Recost computes the cost of a cached plan at sv via its shrunken memo.
+func (e *TemplateEngine) Recost(cp *CachedPlan, sv []float64) (float64, error) {
+	if cp == nil {
+		return 0, fmt.Errorf("engine: recost of nil cached plan")
+	}
+	start := time.Now()
+	c, err := cp.SM.Recost(e.Opt, sv)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.recostTime += time.Since(start)
+	e.recostCalls++
+	e.mu.Unlock()
+	return c, nil
+}
+
+// Timing reports cumulative wall-clock accounting.
+func (e *TemplateEngine) Timing() (optTime, recostTime time.Duration, optCalls, recostCalls int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.optTime, e.recostTime, e.optCalls, e.recostCalls
+}
+
+// ResetTiming zeroes the wall-clock accounting (used between experiment
+// phases that share an engine).
+func (e *TemplateEngine) ResetTiming() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.optTime, e.recostTime, e.optCalls, e.recostCalls = 0, 0, 0, 0
+}
+
+// System bundles a catalog with its statistics and optimizer: the "database
+// instance" experiments run against.
+type System struct {
+	Cat   *catalog.Catalog
+	Gen   *datagen.Generator
+	Stats *stats.Store
+	Opt   *memo.Optimizer
+}
+
+// NewSystem builds statistics and an optimizer for cat with the default
+// cost model.
+func NewSystem(cat *catalog.Catalog, seed int64) (*System, error) {
+	gen := datagen.New(cat, seed)
+	st, err := stats.Build(cat, gen)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building statistics for %s: %w", cat.Name, err)
+	}
+	return &System{
+		Cat:   cat,
+		Gen:   gen,
+		Stats: st,
+		Opt:   memo.NewOptimizer(cat, cost.DefaultModel(), st),
+	}, nil
+}
+
+// EngineFor returns a TemplateEngine for tpl over this system.
+func (s *System) EngineFor(tpl *query.Template) (*TemplateEngine, error) {
+	return NewTemplateEngine(tpl, s.Opt)
+}
+
+// Rehydrate rebuilds a CachedPlan (including its shrunken-memo recost
+// representation) from a bare plan tree — used when importing a persisted
+// plan cache.
+func (e *TemplateEngine) Rehydrate(p *plan.Plan) (*CachedPlan, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("engine: rehydrate of nil plan")
+	}
+	sm, err := memo.NewShrunkenMemo(e.Opt, p, e.Tpl)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedPlan{Plan: p, SM: sm}, nil
+}

@@ -1,0 +1,409 @@
+// Package exec is an in-memory execution engine that runs the optimizer's
+// physical plans over rows materialized by package datagen. It exists for
+// the paper's execution experiment (Table 3): measuring real wall-clock
+// execution time of the plans the PQO techniques choose, so that
+// optimization-time savings and execution-time sub-optimality can be
+// compared in the same unit.
+//
+// Operators implement the classic materialized evaluation model: table and
+// index scans with residual filters, block nested-loops / hash / merge
+// joins, and hash/stream aggregation. Index scans are simulated against a
+// pre-sorted copy of the table, so their touched-row advantage is real.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// DB holds materialized tables for one catalog.
+type DB struct {
+	cat    *catalog.Catalog
+	tables map[string]*tableData
+}
+
+// tableData is one materialized table plus per-column sorted projections
+// that stand in for secondary indexes.
+type tableData struct {
+	meta   *catalog.Table
+	rows   []datagen.Row
+	colIdx map[string]int
+	// sortedBy[col] is the row order sorted ascending by that column, for
+	// columns that carry an index.
+	sortedBy map[string][]int
+}
+
+// Materialize generates up to maxRows rows per table and builds index
+// structures. maxRows bounds memory; the relative table sizes of the
+// catalog are preserved by proportional scaling.
+func Materialize(cat *catalog.Catalog, gen *datagen.Generator, maxRows int) (*DB, error) {
+	if maxRows <= 0 {
+		return nil, fmt.Errorf("exec: maxRows %d must be positive", maxRows)
+	}
+	var largest int64 = 1
+	for _, t := range cat.Tables() {
+		if t.Rows > largest {
+			largest = t.Rows
+		}
+	}
+	db := &DB{cat: cat, tables: make(map[string]*tableData)}
+	for _, t := range cat.Tables() {
+		n := int(float64(t.Rows) / float64(largest) * float64(maxRows))
+		if n < 1 {
+			n = 1
+		}
+		rows, err := gen.Rows(t.Name, n)
+		if err != nil {
+			return nil, fmt.Errorf("exec: materializing %s: %w", t.Name, err)
+		}
+		td := &tableData{
+			meta:     t,
+			rows:     rows,
+			colIdx:   make(map[string]int, len(t.Columns)),
+			sortedBy: make(map[string][]int),
+		}
+		for i, c := range t.Columns {
+			td.colIdx[c.Name] = i
+		}
+		for _, ix := range t.Indexes {
+			ci := td.colIdx[ix.Column]
+			order := make([]int, len(rows))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return rows[order[a]][ci] < rows[order[b]][ci]
+			})
+			td.sortedBy[ix.Column] = order
+		}
+		db.tables[t.Name] = td
+	}
+	return db, nil
+}
+
+// RowCount returns the materialized row count of a table (0 if unknown).
+func (db *DB) RowCount(table string) int {
+	if td := db.tables[table]; td != nil {
+		return len(td.rows)
+	}
+	return 0
+}
+
+// colRef identifies an output column of an operator: source table + column.
+type colRef struct {
+	table, column string
+}
+
+// relation is a materialized intermediate result.
+type relation struct {
+	schema []colRef
+	rows   [][]float64
+}
+
+func (r *relation) colOffset(table, column string) (int, error) {
+	for i, c := range r.schema {
+		if c.table == table && c.column == column {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("exec: column %s.%s not in schema %v", table, column, r.schema)
+}
+
+// Execute runs plan p for template tpl with bound parameter values and
+// returns the result cardinality. Parameter values select the predicate
+// constants exactly as the optimizer assumed.
+func (db *DB) Execute(p *plan.Plan, tpl *query.Template, params []float64) (int, error) {
+	if got, want := len(params), tpl.Dimensions(); got != want {
+		return 0, fmt.Errorf("exec: got %d params, template %s needs %d", got, tpl.Name, want)
+	}
+	rel, err := db.eval(p.Root, tpl, params)
+	if err != nil {
+		return 0, err
+	}
+	return len(rel.rows), nil
+}
+
+func (db *DB) eval(n *plan.Node, tpl *query.Template, params []float64) (*relation, error) {
+	if n == nil {
+		return nil, fmt.Errorf("exec: nil plan node")
+	}
+	switch n.Op {
+	case plan.TableScan:
+		return db.scan(n.Table, tpl, params, "", 0)
+	case plan.IndexScan:
+		return db.scan(n.Table, tpl, params, n.IndexColumn, 0)
+	case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
+		left, err := db.eval(n.Children[0], tpl, params)
+		if err != nil {
+			return nil, err
+		}
+		right, err := db.eval(n.Children[1], tpl, params)
+		if err != nil {
+			return nil, err
+		}
+		return db.join(n, tpl, left, right)
+	case plan.HashAgg, plan.StreamAgg:
+		in, err := db.eval(n.Children[0], tpl, params)
+		if err != nil {
+			return nil, err
+		}
+		return db.aggregate(n, in)
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %s", n.Op)
+	}
+}
+
+// predsFor collects the bound predicates on a table as (column index, op,
+// value) triples.
+type boundPred struct {
+	col int
+	op  query.CmpOp
+	val float64
+}
+
+func (db *DB) predsFor(table string, tpl *query.Template, params []float64,
+	td *tableData) ([]boundPred, error) {
+
+	var out []boundPred
+	for _, p := range tpl.Preds {
+		if p.Table != table {
+			continue
+		}
+		ci, ok := td.colIdx[p.Column]
+		if !ok {
+			return nil, fmt.Errorf("exec: predicate column %s.%s missing", table, p.Column)
+		}
+		v := p.Value
+		if p.Param >= 0 {
+			v = params[p.Param]
+		}
+		out = append(out, boundPred{col: ci, op: p.Op, val: v})
+	}
+	return out, nil
+}
+
+func matches(row []float64, preds []boundPred) bool {
+	for _, p := range preds {
+		if p.op == query.LE {
+			if row[p.col] > p.val {
+				return false
+			}
+		} else if row[p.col] < p.val {
+			return false
+		}
+	}
+	return true
+}
+
+// scan reads a base table. If indexColumn is non-empty the matching index
+// order is used to touch only the qualifying range for the predicate on
+// that column (the simulated index seek); remaining predicates filter
+// row-by-row.
+func (db *DB) scan(table string, tpl *query.Template, params []float64,
+	indexColumn string, _ int) (*relation, error) {
+
+	td := db.tables[table]
+	if td == nil {
+		return nil, fmt.Errorf("exec: table %s not materialized", table)
+	}
+	preds, err := db.predsFor(table, tpl, params, td)
+	if err != nil {
+		return nil, err
+	}
+	schema := make([]colRef, len(td.meta.Columns))
+	for i, c := range td.meta.Columns {
+		schema[i] = colRef{table: table, column: c.Name}
+	}
+	out := &relation{schema: schema}
+
+	if indexColumn != "" {
+		order := td.sortedBy[indexColumn]
+		ci, hasCol := td.colIdx[indexColumn]
+		if order != nil && hasCol {
+			// Find the predicate served by the index, if any.
+			var served *boundPred
+			for i := range preds {
+				if preds[i].col == ci {
+					served = &preds[i]
+					break
+				}
+			}
+			if served != nil {
+				lo, hi := 0, len(order)
+				if served.op == query.LE {
+					hi = sort.Search(len(order), func(i int) bool {
+						return td.rows[order[i]][ci] > served.val
+					})
+				} else {
+					lo = sort.Search(len(order), func(i int) bool {
+						return td.rows[order[i]][ci] >= served.val
+					})
+				}
+				for _, ri := range order[lo:hi] {
+					if matches(td.rows[ri], preds) {
+						out.rows = append(out.rows, td.rows[ri])
+					}
+				}
+				return out, nil
+			}
+			// Index with no served predicate: clustered-order full scan.
+			for _, ri := range order {
+				if matches(td.rows[ri], preds) {
+					out.rows = append(out.rows, td.rows[ri])
+				}
+			}
+			return out, nil
+		}
+	}
+	for _, row := range td.rows {
+		if matches(row, preds) {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// joinKeys resolves the equi-join columns for a join node from the
+// template's join list: the first edge connecting a left-side table to a
+// right-side table.
+func joinKeys(n *plan.Node, tpl *query.Template, left, right *relation) (int, int, error) {
+	inLeft := make(map[string]bool)
+	for _, c := range left.schema {
+		inLeft[c.table] = true
+	}
+	inRight := make(map[string]bool)
+	for _, c := range right.schema {
+		inRight[c.table] = true
+	}
+	for _, j := range tpl.Joins {
+		if inLeft[j.Left] && inRight[j.Right] {
+			li, err := left.colOffset(j.Left, j.LeftCol)
+			if err != nil {
+				return 0, 0, err
+			}
+			ri, err := right.colOffset(j.Right, j.RightCol)
+			if err != nil {
+				return 0, 0, err
+			}
+			return li, ri, nil
+		}
+		if inLeft[j.Right] && inRight[j.Left] {
+			li, err := left.colOffset(j.Right, j.RightCol)
+			if err != nil {
+				return 0, 0, err
+			}
+			ri, err := right.colOffset(j.Left, j.LeftCol)
+			if err != nil {
+				return 0, 0, err
+			}
+			return li, ri, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("exec: no join edge between %v and %v", left.schema, right.schema)
+}
+
+func (db *DB) join(n *plan.Node, tpl *query.Template, left, right *relation) (*relation, error) {
+	li, ri, err := joinKeys(n, tpl, left, right)
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{schema: append(append([]colRef{}, left.schema...), right.schema...)}
+	emit := func(l, r []float64) {
+		row := make([]float64, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		out.rows = append(out.rows, row)
+	}
+	switch n.Op {
+	case plan.NLJoin:
+		for _, lr := range left.rows {
+			for _, rr := range right.rows {
+				if lr[li] == rr[ri] {
+					emit(lr, rr)
+				}
+			}
+		}
+	case plan.HashJoin:
+		ht := make(map[float64][][]float64, len(right.rows))
+		for _, rr := range right.rows {
+			ht[rr[ri]] = append(ht[rr[ri]], rr)
+		}
+		for _, lr := range left.rows {
+			for _, rr := range ht[lr[li]] {
+				emit(lr, rr)
+			}
+		}
+	case plan.MergeJoin:
+		ls := append([][]float64{}, left.rows...)
+		rs := append([][]float64{}, right.rows...)
+		sort.SliceStable(ls, func(a, b int) bool { return ls[a][li] < ls[b][li] })
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a][ri] < rs[b][ri] })
+		i, j := 0, 0
+		for i < len(ls) && j < len(rs) {
+			switch {
+			case ls[i][li] < rs[j][ri]:
+				i++
+			case ls[i][li] > rs[j][ri]:
+				j++
+			default:
+				key := ls[i][li]
+				jEnd := j
+				for jEnd < len(rs) && rs[jEnd][ri] == key {
+					jEnd++
+				}
+				for i < len(ls) && ls[i][li] == key {
+					for k := j; k < jEnd; k++ {
+						emit(ls[i], rs[k])
+					}
+					i++
+				}
+				j = jEnd
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: %s is not a join", n.Op)
+	}
+	return out, nil
+}
+
+// aggregate groups on the first output column and counts group members —
+// the GROUP BY g, COUNT(*) shape of the templates.
+func (db *DB) aggregate(n *plan.Node, in *relation) (*relation, error) {
+	if len(in.schema) == 0 {
+		return nil, fmt.Errorf("exec: aggregate over empty schema")
+	}
+	out := &relation{schema: []colRef{in.schema[0], {table: "", column: "count"}}}
+	switch n.Op {
+	case plan.HashAgg:
+		counts := make(map[float64]float64)
+		var order []float64
+		for _, row := range in.rows {
+			if _, seen := counts[row[0]]; !seen {
+				order = append(order, row[0])
+			}
+			counts[row[0]]++
+		}
+		for _, k := range order {
+			out.rows = append(out.rows, []float64{k, counts[k]})
+		}
+	case plan.StreamAgg:
+		rows := append([][]float64{}, in.rows...)
+		sort.SliceStable(rows, func(a, b int) bool { return rows[a][0] < rows[b][0] })
+		for i := 0; i < len(rows); {
+			j := i
+			for j < len(rows) && rows[j][0] == rows[i][0] {
+				j++
+			}
+			out.rows = append(out.rows, []float64{rows[i][0], float64(j - i)})
+			i = j
+		}
+	default:
+		return nil, fmt.Errorf("exec: %s is not an aggregate", n.Op)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+// Fig1Decision records how each technique handled one instance of the
+// example workload.
+type Fig1Decision struct {
+	Instance  int
+	SV        []float64
+	Technique string
+	Via       core.Check
+	Optimized bool
+}
+
+// Fig1Result summarizes the Figure 1 example: per-instance decisions and
+// per-technique optimizer-call counts.
+type Fig1Result struct {
+	Decisions []Fig1Decision
+	NumOpt    map[string]int
+}
+
+// Fig1 reproduces the flavor of Figure 1: a short 2-dimensional workload
+// whose instances cluster in a few selectivity regions, processed by the
+// Table 2 techniques. SCR should optimize the fewest instances (6 of 13 in
+// the paper's example) by exploiting the selectivity and cost checks, while
+// PCM optimizes nearly all.
+func (r *Runner) Fig1() (*Fig1Result, error) {
+	// A 13-instance 2-d workload shaped like the paper's example: clusters
+	// around a few plan-optimality regions plus a couple of outliers.
+	svs := [][]float64{
+		{0.010, 0.010}, // q1  — cluster A
+		{0.300, 0.300}, // q2  — cluster B
+		{0.013, 0.012}, // q3  — near q1 (cost check in the paper)
+		{0.310, 0.290}, // q4  — near q2 (selectivity check)
+		{0.011, 0.009}, // q5  — near q1
+		{0.009, 0.012}, // q6  — near q1
+		{0.200, 0.010}, // q7  — ridge between regions
+		{0.012, 0.011}, // q8  — near q1 (cost check)
+		{0.800, 0.800}, // q9  — cluster C
+		{0.010, 0.011}, // q10 — near q1 (selectivity check)
+		{0.290, 0.310}, // q11 — near q2 (selectivity check)
+		{0.015, 0.010}, // q12 — near q1 (cost check)
+		{0.820, 0.790}, // q13 — near q9
+	}
+	// Use the first 2-d template of the suite.
+	var entry = r.entries[0]
+	for _, e := range r.entries {
+		if e.Tpl.Dimensions() == 2 {
+			entry = e
+			break
+		}
+	}
+	if entry.Tpl.Dimensions() != 2 {
+		return nil, errNoTwoD
+	}
+	eng, err := r.engineFor(entry)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{NumOpt: make(map[string]int)}
+	factories := []Factory{
+		PCMFactory(2),
+		{Label: "Ellipse", New: func(e core.Engine) (core.Technique, error) {
+			return baselines.NewEllipse(e, 0.90)
+		}},
+		{Label: "Ranges", New: func(e core.Engine) (core.Technique, error) {
+			return baselines.NewRanges(e, 0.01)
+		}},
+		SCRFactory(2),
+	}
+	for _, f := range factories {
+		tech, err := f.New(eng)
+		if err != nil {
+			return nil, err
+		}
+		for i, sv := range svs {
+			dec, err := tech.Process(sv)
+			if err != nil {
+				return nil, err
+			}
+			out.Decisions = append(out.Decisions, Fig1Decision{
+				Instance: i + 1, SV: sv, Technique: f.Label,
+				Via: dec.Via, Optimized: dec.Optimized,
+			})
+			if dec.Optimized {
+				out.NumOpt[f.Label]++
+			}
+		}
+	}
+	r.printf("== Figure 1: example 13-instance workload (%s) ==\n", entry.Tpl.Name)
+	r.printf("%-10s", "instance")
+	for _, f := range factories {
+		r.printf(" %-18s", f.Label)
+	}
+	r.printf("\n")
+	for i := range svs {
+		r.printf("q%-9d", i+1)
+		for _, f := range factories {
+			for _, d := range out.Decisions {
+				if d.Instance == i+1 && d.Technique == f.Label {
+					r.printf(" %-18s", d.Via)
+				}
+			}
+		}
+		r.printf("\n")
+	}
+	r.printf("%-10s", "numOpt")
+	for _, f := range factories {
+		r.printf(" %-18d", out.NumOpt[f.Label])
+	}
+	r.printf("\n")
+	return out, nil
+}
+
+var errNoTwoD = &noTwoDErr{}
+
+type noTwoDErr struct{}
+
+func (*noTwoDErr) Error() string {
+	return "experiments: no 2-dimensional template in the selected suite"
+}

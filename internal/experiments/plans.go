@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"repro/internal/harness"
+)
+
+// PlanRow is one technique's numPlans summary (Figures 13–15).
+type PlanRow struct {
+	Technique string
+	Mean      float64
+	P95       float64
+	Max       float64
+}
+
+// Fig13 reproduces Figure 13: numPlans across the Table 2 techniques
+// (plotted on a log scale in the paper).
+func (r *Runner) Fig13() ([]PlanRow, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	var rows []PlanRow
+	for _, f := range StandardFactories(2) {
+		results, err := r.RunTechnique(f, seqs, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := harness.Summarize(results, harness.MetricNumPlans)
+		rows = append(rows, PlanRow{Technique: f.Label, Mean: s.Mean, P95: s.P95, Max: s.Max})
+	}
+	r.printPlanRows("Figure 13: numPlans for various techniques", rows)
+	return rows, nil
+}
+
+// Fig14 reproduces Figure 14: numPlans for SCR with varying λ.
+func (r *Runner) Fig14() ([]PlanRow, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	var rows []PlanRow
+	for _, lambda := range []float64{1.1, 1.2, 1.5, 2.0} {
+		f := SCRFactory(lambda)
+		results, err := r.RunTechnique(f, seqs, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := harness.Summarize(results, harness.MetricNumPlans)
+		rows = append(rows, PlanRow{Technique: f.Label, Mean: s.Mean, P95: s.P95, Max: s.Max})
+	}
+	r.printPlanRows("Figure 14: numPlans for SCR with varying λ", rows)
+	return rows, nil
+}
+
+func (r *Runner) printPlanRows(title string, rows []PlanRow) {
+	r.printf("== %s ==\n", title)
+	r.printf("%-12s %10s %10s %10s\n", "technique", "mean", "p95", "max")
+	for _, row := range rows {
+		r.printf("%-12s %10.1f %10.1f %10.0f\n", row.Technique, row.Mean, row.P95, row.Max)
+	}
+}
+
+// Fig15Row summarizes technique behaviour on the "easy" sequences where
+// Optimize-Once already achieves MSO < 2.
+type Fig15Row struct {
+	Technique string
+	AvgPlans  float64
+	OptPct    float64
+}
+
+// Fig15 reproduces Figure 15: on sequences where Optimize-Once has MSO < 2,
+// a good technique should realize that one plan suffices — SCR stores very
+// few plans and optimizes a tiny fraction, while others keep storing.
+func (r *Runner) Fig15() ([]Fig15Row, int, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, 0, err
+	}
+	// First pass: find the easy sequences via OptOnce.
+	optOnce := StandardFactories(2)[0]
+	results, err := r.RunTechnique(optOnce, seqs, harness.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	var easy []*SeqCtx
+	for i, res := range results {
+		if res.MSO < 2 {
+			easy = append(easy, seqs[i])
+		}
+	}
+	if len(easy) == 0 {
+		r.printf("== Figure 15: no sequences with OptOnce MSO < 2 at this scale ==\n")
+		return nil, 0, nil
+	}
+	var rows []Fig15Row
+	for _, f := range StandardFactories(2) {
+		res, err := r.RunTechnique(f, easy, harness.Options{})
+		if err != nil {
+			return nil, 0, err
+		}
+		rows = append(rows, Fig15Row{
+			Technique: f.Label,
+			AvgPlans:  harness.Summarize(res, harness.MetricNumPlans).Mean,
+			OptPct:    harness.Summarize(res, harness.MetricOptFraction).Mean * 100,
+		})
+	}
+	r.printf("== Figure 15: sequences where OptOnce has MSO < 2 (%d of %d) ==\n",
+		len(easy), len(seqs))
+	r.printf("%-12s %12s %10s\n", "technique", "avg plans", "numOpt%")
+	for _, row := range rows {
+		r.printf("%-12s %12.1f %9.1f%%\n", row.Technique, row.AvgPlans, row.OptPct)
+	}
+	return rows, len(easy), nil
+}

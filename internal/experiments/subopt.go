@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// DistPoint is one sequence's (MSO, TotalCostRatio) pair in a distribution
+// plot (Figures 6 and 7 plot these in increasing TC order).
+type DistPoint struct {
+	Sequence string
+	MSO      float64
+	TC       float64
+}
+
+// DistResult is a per-technique distribution over all sequences.
+type DistResult struct {
+	Technique string
+	Points    []DistPoint
+	MSO       harness.Summary
+	TC        harness.Summary
+	// Violations counts sequences whose MSO exceeded the technique's bound
+	// (only set for guarantee-bearing techniques).
+	Violations int
+}
+
+func (r *Runner) distFor(f Factory, seqs []*SeqCtx, lambda float64) (*DistResult, error) {
+	results, err := r.RunTechnique(f, seqs, harness.Options{Lambda: lambda})
+	if err != nil {
+		return nil, err
+	}
+	sortByTC(results)
+	out := &DistResult{
+		Technique: f.Label,
+		MSO:       harness.Summarize(results, harness.MetricMSO),
+		TC:        harness.Summarize(results, harness.MetricTC),
+	}
+	for _, res := range results {
+		out.Points = append(out.Points, DistPoint{Sequence: res.Sequence, MSO: res.MSO, TC: res.TotalCostRatio})
+		if lambda > 0 && res.MSO > lambda*(1+1e-9) {
+			out.Violations++
+		}
+	}
+	return out, nil
+}
+
+func (r *Runner) printDist(title string, dists []*DistResult) {
+	r.printf("== %s ==\n", title)
+	r.printf("%-10s %8s %8s %8s | %8s %8s %8s | %s\n",
+		"technique", "MSO.med", "MSO.p95", "MSO.max", "TC.med", "TC.p95", "TC.max", "bound-violating seqs")
+	for _, d := range dists {
+		r.printf("%-10s %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | %d/%d\n",
+			d.Technique, d.MSO.Median, d.MSO.P95, d.MSO.Max,
+			d.TC.Median, d.TC.P95, d.TC.Max, d.Violations, d.MSO.N)
+	}
+}
+
+// Fig6 reproduces Figure 6: MSO and TotalCostRatio distributions for
+// Optimize-Once and Ellipse across all workload sequences.
+func (r *Runner) Fig6() ([]*DistResult, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	var out []*DistResult
+	for _, f := range []Factory{
+		{Label: "OptOnce", New: func(eng core.Engine) (core.Technique, error) {
+			return baselines.NewOptOnce(eng), nil
+		}},
+		{Label: "Ellipse", New: func(eng core.Engine) (core.Technique, error) {
+			return baselines.NewEllipse(eng, 0.90)
+		}},
+	} {
+		d, err := r.distFor(f, seqs, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	r.printDist("Figure 6: MSO and TotalCostRatio — OptOnce vs Ellipse", out)
+	return out, nil
+}
+
+// Fig7 reproduces Figure 7: MSO and TC distributions for PCM2 and SCR2,
+// including the count of (rare) bound violations caused by cost-model
+// assumption violations.
+func (r *Runner) Fig7() ([]*DistResult, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	var out []*DistResult
+	for _, f := range []Factory{PCMFactory(2), SCRFactory(2)} {
+		d, err := r.distFor(f, seqs, 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	r.printDist("Figure 7: MSO and TotalCostRatio — PCM2 vs SCR2 (λ=2)", out)
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: TotalCostRatio for SCR under varying λ.
+func (r *Runner) Fig8() ([]*DistResult, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	var out []*DistResult
+	for _, lambda := range []float64{1.1, 1.2, 1.5, 2.0} {
+		d, err := r.distFor(SCRFactory(lambda), seqs, lambda)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	r.printf("== Figure 8: TotalCostRatio for SCR with varying λ ==\n")
+	r.printf("%-8s %8s %8s %8s %8s\n", "λ", "TC.mean", "TC.med", "TC.p95", "TC.max")
+	lambdas := []float64{1.1, 1.2, 1.5, 2.0}
+	for i, d := range out {
+		r.printf("%-8g %8.3f %8.3f %8.3f %8.3f\n",
+			lambdas[i], d.TC.Mean, d.TC.Median, d.TC.P95, d.TC.Max)
+	}
+	return out, nil
+}
+
+// AggRow is one technique's aggregate metric (Figures 16 and 17).
+type AggRow struct {
+	Technique string
+	Mean, P95 float64
+}
+
+// Fig16 reproduces Figure 16 (Appendix H.2): aggregate MSO per technique.
+func (r *Runner) Fig16() ([]AggRow, error) {
+	return r.aggMetric("Figure 16: aggregate MSO (mean / p95)", harness.MetricMSO)
+}
+
+// Fig17 reproduces Figure 17 (Appendix H.2): aggregate TotalCostRatio.
+func (r *Runner) Fig17() ([]AggRow, error) {
+	return r.aggMetric("Figure 17: aggregate TotalCostRatio (mean / p95)", harness.MetricTC)
+}
+
+func (r *Runner) aggMetric(title string, metric harness.Metric) ([]AggRow, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AggRow
+	for _, f := range StandardFactories(2) {
+		results, err := r.RunTechnique(f, seqs, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := harness.Summarize(results, metric)
+		rows = append(rows, AggRow{Technique: f.Label, Mean: s.Mean, P95: s.P95})
+	}
+	r.printf("== %s ==\n", title)
+	r.printf("%-10s %10s %10s\n", "technique", "mean", "p95")
+	for _, row := range rows {
+		r.printf("%-10s %10.2f %10.2f\n", row.Technique, row.Mean, row.P95)
+	}
+	return rows, nil
+}
+
+// Fig21Row compares a baseline with and without the H.6 Recost redundancy
+// check.
+type Fig21Row struct {
+	Technique              string
+	PlainMSO, AugMSO       float64 // p95
+	PlainTC, AugTC         float64 // p95
+	PlainPlans, AugPlans   float64 // p95
+	PlainOptPct, AugOptPct float64 // mean numOpt %
+}
+
+// Fig21 reproduces Figure 21 (Appendix H.6): the effect of giving existing
+// techniques the Recost-based redundancy check — numPlans improves but
+// MSO/TC stay in the same (high) range.
+func (r *Runner) Fig21() ([]Fig21Row, error) {
+	seqs, err := r.Sequences()
+	if err != nil {
+		return nil, err
+	}
+	type mk struct {
+		label string
+		build func(eng core.Engine, augment bool) (core.Technique, error)
+	}
+	makers := []mk{
+		{"Ellipse", func(eng core.Engine, augment bool) (core.Technique, error) {
+			t, err := baselines.NewEllipse(eng, 0.90)
+			if err == nil && augment {
+				err = baselines.EnableRedundancy(t, 1.4)
+			}
+			return t, err
+		}},
+		{"Density", func(eng core.Engine, augment bool) (core.Technique, error) {
+			t, err := baselines.NewDensity(eng, 0.1, 0.5, 3)
+			if err == nil && augment {
+				err = baselines.EnableRedundancy(t, 1.4)
+			}
+			return t, err
+		}},
+		{"Ranges", func(eng core.Engine, augment bool) (core.Technique, error) {
+			t, err := baselines.NewRanges(eng, 0.01)
+			if err == nil && augment {
+				err = baselines.EnableRedundancy(t, 1.4)
+			}
+			return t, err
+		}},
+	}
+	var rows []Fig21Row
+	for _, m := range makers {
+		var summ [2]struct {
+			mso, tc, plans harness.Summary
+			optPct         float64
+		}
+		for variant := 0; variant < 2; variant++ {
+			augment := variant == 1
+			f := Factory{Label: m.label, New: func(eng core.Engine) (core.Technique, error) {
+				return m.build(eng, augment)
+			}}
+			results, err := r.RunTechnique(f, seqs, harness.Options{})
+			if err != nil {
+				return nil, err
+			}
+			summ[variant].mso = harness.Summarize(results, harness.MetricMSO)
+			summ[variant].tc = harness.Summarize(results, harness.MetricTC)
+			summ[variant].plans = harness.Summarize(results, harness.MetricNumPlans)
+			summ[variant].optPct = harness.Summarize(results, harness.MetricOptFraction).Mean * 100
+		}
+		rows = append(rows, Fig21Row{
+			Technique: m.label,
+			PlainMSO:  summ[0].mso.P95, AugMSO: summ[1].mso.P95,
+			PlainTC: summ[0].tc.P95, AugTC: summ[1].tc.P95,
+			PlainPlans: summ[0].plans.P95, AugPlans: summ[1].plans.P95,
+			PlainOptPct: summ[0].optPct, AugOptPct: summ[1].optPct,
+		})
+	}
+	r.printf("== Figure 21: existing techniques with the Recost redundancy check ==\n")
+	r.printf("%-10s | %18s | %18s | %18s | %18s\n", "technique",
+		"MSO p95 (plain→+RC)", "TC p95 (plain→+RC)", "plans p95 (pl→+RC)", "numOpt%% (pl→+RC)")
+	for _, row := range rows {
+		r.printf("%-10s | %8.2f → %7.2f | %8.2f → %7.2f | %8.0f → %7.0f | %8.1f → %7.1f\n",
+			row.Technique, row.PlainMSO, row.AugMSO, row.PlainTC, row.AugTC,
+			row.PlainPlans, row.AugPlans, row.PlainOptPct, row.AugOptPct)
+	}
+	return rows, nil
+}
+
+// fmtPct formats a fraction as a percentage string.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,201 @@
+// Package harness runs online PQO techniques over workload sequences and
+// computes the paper's evaluation metrics (§2.1): per-instance cost
+// sub-optimality SO, worst-case MSO, aggregate TotalCostRatio, optimizer
+// overheads (numOpt) and plan-cache size (numPlans) — plus the percentile
+// aggregations the figures report.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Result summarizes one technique's run over one sequence.
+type Result struct {
+	Technique string
+	Sequence  string
+	M         int
+
+	// MSO is max SO over the sequence; TotalCostRatio is the paper's
+	// aggregate metric in [1, MSO].
+	MSO            float64
+	TotalCostRatio float64
+	// NumOpt is the count of optimizer calls; OptFraction = NumOpt/M.
+	NumOpt      int64
+	OptFraction float64
+	// NumPlans is the high-water plan count (0 for Optimize-Always).
+	NumPlans int
+	// GetPlanRecosts / ManageRecosts split the Recost overheads between
+	// the critical path and the background manageCache work.
+	GetPlanRecosts int64
+	ManageRecosts  int64
+	// MemoryBytes is the final plan-cache memory estimate.
+	MemoryBytes int64
+	// BoundViolations counts instances whose SO exceeded lambda (only
+	// meaningful for guarantee-bearing techniques; 0 for lambda <= 0).
+	BoundViolations int64
+	// ViaCounts breaks instances down by the mechanism that served them
+	// (optimizer call, selectivity check, cost check, baseline inference).
+	ViaCounts map[core.Check]int64
+	// SOs optionally retains per-instance sub-optimalities (RetainSOs).
+	SOs []float64
+}
+
+// Options tune a harness run.
+type Options struct {
+	// Lambda, when positive, makes the harness count SO > Lambda bound
+	// violations.
+	Lambda float64
+	// RetainSOs keeps the per-instance SO series in the result.
+	RetainSOs bool
+}
+
+// Run processes seq through tech, using eng to evaluate the true cost of
+// each chosen plan. Ground-truth optimal costs must be present on the
+// sequence (workload.Prepare).
+func Run(eng core.Engine, tech core.Technique, seq *workload.Sequence, opts Options) (*Result, error) {
+	if len(seq.Instances) == 0 {
+		return nil, fmt.Errorf("harness: empty sequence %s", seq.Name)
+	}
+	res := &Result{
+		Technique: tech.Name(),
+		Sequence:  seq.Name,
+		M:         len(seq.Instances),
+		MSO:       1,
+		ViaCounts: make(map[core.Check]int64),
+	}
+	var sumChosen, sumOpt float64
+	for i, q := range seq.Instances {
+		if q.OptCost <= 0 {
+			return nil, fmt.Errorf("harness: sequence %s instance %d lacks ground truth", seq.Name, i)
+		}
+		dec, err := tech.Process(q.SV)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s on %s instance %d: %w", tech.Name(), seq.Name, i, err)
+		}
+		res.ViaCounts[dec.Via]++
+		chosenCost, err := eng.Recost(dec.Plan, q.SV)
+		if err != nil {
+			return nil, fmt.Errorf("harness: recosting chosen plan at instance %d: %w", i, err)
+		}
+		so := chosenCost / q.OptCost
+		if so < 1 {
+			// The technique found a plan the ground-truth pass considered
+			// optimal-or-better (ties, float noise); clamp.
+			so = 1
+		}
+		if so > res.MSO {
+			res.MSO = so
+		}
+		if opts.Lambda > 0 && so > opts.Lambda*(1+1e-9) {
+			res.BoundViolations++
+		}
+		if opts.RetainSOs {
+			res.SOs = append(res.SOs, so)
+		}
+		sumChosen += chosenCost
+		sumOpt += q.OptCost
+	}
+	res.TotalCostRatio = sumChosen / sumOpt
+	st := tech.Stats()
+	res.NumOpt = st.OptCalls
+	res.OptFraction = float64(st.OptCalls) / float64(res.M)
+	res.NumPlans = st.MaxPlans
+	res.GetPlanRecosts = st.GetPlanRecosts
+	res.ManageRecosts = st.ManageRecosts
+	res.MemoryBytes = st.MemoryBytes
+	return res, nil
+}
+
+// GroundTruthEngine adapts a prepared workload into a core.Engine whose
+// Recost consults the real engine — convenience for harness callers that
+// already hold a TemplateEngine.
+type GroundTruthEngine struct {
+	Eng *engine.TemplateEngine
+}
+
+// Dimensions implements core.Engine.
+func (g *GroundTruthEngine) Dimensions() int { return g.Eng.Dimensions() }
+
+// Optimize implements core.Engine.
+func (g *GroundTruthEngine) Optimize(sv []float64) (*engine.CachedPlan, float64, error) {
+	return g.Eng.Optimize(sv)
+}
+
+// Recost implements core.Engine.
+func (g *GroundTruthEngine) Recost(cp *engine.CachedPlan, sv []float64) (float64, error) {
+	return g.Eng.Recost(cp, sv)
+}
+
+// Summary aggregates a metric across many results (one per sequence), as
+// the figures do: average, median, p95 and max.
+type Summary struct {
+	N                      int
+	Mean, Median, P95, Max float64
+}
+
+// Metric selects which Result field Summarize aggregates.
+type Metric func(*Result) float64
+
+// Predefined metrics matching the paper's figures.
+var (
+	MetricMSO         Metric = func(r *Result) float64 { return r.MSO }
+	MetricTC          Metric = func(r *Result) float64 { return r.TotalCostRatio }
+	MetricOptFraction Metric = func(r *Result) float64 { return r.OptFraction }
+	MetricNumPlans    Metric = func(r *Result) float64 { return float64(r.NumPlans) }
+)
+
+// Summarize computes the aggregate statistics of metric over results.
+func Summarize(results []*Result, metric Metric) Summary {
+	if len(results) == 0 {
+		return Summary{}
+	}
+	vals := make([]float64, len(results))
+	sum := 0.0
+	for i, r := range results {
+		vals[i] = metric(r)
+		sum += vals[i]
+	}
+	sort.Float64s(vals)
+	return Summary{
+		N:      len(vals),
+		Mean:   sum / float64(len(vals)),
+		Median: percentile(vals, 0.50),
+		P95:    percentile(vals, 0.95),
+		Max:    vals[len(vals)-1],
+	}
+}
+
+// percentile returns the p-quantile of sorted vals by nearest-rank with
+// linear interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[i]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Percentile exposes the quantile helper for report code.
+func Percentile(vals []float64, p float64) float64 {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	sort.Float64s(cp)
+	return percentile(cp, p)
+}

@@ -1,0 +1,102 @@
+// Package memo implements a memo-based (Cascades-style) cost-based query
+// optimizer over the join-graph query language of package query, together
+// with the two engine APIs the paper requires (§4.2): selectivity-vector
+// computation (via package stats) and an efficient Recost API backed by a
+// ShrunkenMemo — a pruned, cacheable representation of the winning plan that
+// supports re-deriving cardinalities and costs bottom-up without plan search.
+package memo
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Env is the per-instance selectivity environment: the selectivity of every
+// predicate of a template under one instance's selectivity vector. All
+// cardinality derivation — during optimization and during recost — reads
+// from an Env.
+type Env struct {
+	Tpl *query.Template
+	// predSel[i] is the selectivity of Tpl.Preds[i].
+	predSel []float64
+	// tableSel caches the combined selectivity per table.
+	tableSel map[string]float64
+	// predsOn caches the number of predicates per table.
+	predsOn map[string]int
+}
+
+// NewEnv builds the environment for template tpl under selectivity vector
+// sv. Constant predicates are evaluated against the statistics store st.
+func NewEnv(tpl *query.Template, sv []float64, st *stats.Store) (*Env, error) {
+	if got, want := len(sv), tpl.Dimensions(); got != want {
+		return nil, fmt.Errorf("memo: sVector has %d entries, template %s needs %d", got, tpl.Name, want)
+	}
+	e := &Env{
+		Tpl:      tpl,
+		predSel:  make([]float64, len(tpl.Preds)),
+		tableSel: make(map[string]float64, len(tpl.Tables)),
+		predsOn:  make(map[string]int, len(tpl.Tables)),
+	}
+	for i, p := range tpl.Preds {
+		if p.Param >= 0 {
+			e.predSel[i] = stats.ClampSelectivity(sv[p.Param])
+			continue
+		}
+		var (
+			s   float64
+			err error
+		)
+		if p.Op == query.LE {
+			s, err = st.SelectivityLE(p.Table, p.Column, p.Value)
+		} else {
+			s, err = st.SelectivityGE(p.Table, p.Column, p.Value)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("memo: constant predicate on %s.%s: %w", p.Table, p.Column, err)
+		}
+		e.predSel[i] = s
+	}
+	for _, tab := range tpl.Tables {
+		sel := 1.0
+		n := 0
+		for i, p := range tpl.Preds {
+			if p.Table == tab {
+				sel *= e.predSel[i]
+				n++
+			}
+		}
+		e.tableSel[tab] = stats.ClampSelectivity(sel)
+		e.predsOn[tab] = n
+	}
+	return e, nil
+}
+
+// TableSel returns the combined selectivity of all predicates on table.
+// Tables without predicates have selectivity 1.
+func (e *Env) TableSel(table string) float64 {
+	if s, ok := e.tableSel[table]; ok {
+		return s
+	}
+	return 1
+}
+
+// NumPredsOn returns the number of predicates on table.
+func (e *Env) NumPredsOn(table string) int { return e.predsOn[table] }
+
+// PredSelOn returns the selectivity of the predicate on table.column and
+// whether such a predicate exists. Templates are constructed with at most
+// one predicate per column; if several exist their combined selectivity is
+// returned.
+func (e *Env) PredSelOn(table, column string) (float64, bool) {
+	sel := 1.0
+	found := false
+	for i, p := range e.Tpl.Preds {
+		if p.Table == table && p.Column == column {
+			sel *= e.predSel[i]
+			found = true
+		}
+	}
+	return sel, found
+}

@@ -1,0 +1,354 @@
+package memo
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Optimizer performs cost-based plan search for query templates over one
+// catalog. It is safe for concurrent use; accounting counters are atomic.
+type Optimizer struct {
+	Cat   *catalog.Catalog
+	Model *cost.Model
+	Stats *stats.Store
+
+	// exprCosted counts physical alternatives costed across all Optimize
+	// calls; recostOps counts operators visited across all Recost calls.
+	// Their ratio demonstrates the paper's claim that Recost is orders of
+	// magnitude cheaper than an optimizer call.
+	exprCosted int64
+	recostOps  int64
+	optCalls   int64
+	recalls    int64
+}
+
+// NewOptimizer returns an optimizer over the given catalog, cost model and
+// statistics store.
+func NewOptimizer(cat *catalog.Catalog, m *cost.Model, st *stats.Store) *Optimizer {
+	return &Optimizer{Cat: cat, Model: m, Stats: st}
+}
+
+// Counters reports cumulative accounting: optimizer calls made, expressions
+// costed during optimization, recost calls made, and operators visited
+// during recosts.
+func (o *Optimizer) Counters() (optCalls, exprCosted, recostCalls, recostOps int64) {
+	return atomic.LoadInt64(&o.optCalls), atomic.LoadInt64(&o.exprCosted),
+		atomic.LoadInt64(&o.recalls), atomic.LoadInt64(&o.recostOps)
+}
+
+// candidate is one physical alternative for a memo group, possibly carrying
+// a delivered sort order (an interesting order in System-R terms).
+type candidate struct {
+	node *plan.Node
+	cst  float64
+	card float64
+	// rowBytes is the output row width, used by the hash-join spill test.
+	rowBytes int
+	// order is "table.column" if the plan delivers rows sorted on that
+	// column, else "".
+	order string
+}
+
+// group is a memo group: the equivalence class of all plans producing the
+// join of one subset of tables. winners holds the cheapest plan overall
+// (order "") and the cheapest plan per delivered order.
+type group struct {
+	winners []candidate
+}
+
+// best returns the cheapest candidate overall, or nil.
+func (g *group) best() *candidate {
+	var out *candidate
+	for i := range g.winners {
+		if out == nil || g.winners[i].cst < out.cst {
+			out = &g.winners[i]
+		}
+	}
+	return out
+}
+
+// bestWithOrder returns the cheapest candidate delivering the given order,
+// or nil.
+func (g *group) bestWithOrder(order string) *candidate {
+	var out *candidate
+	for i := range g.winners {
+		if g.winners[i].order == order && (out == nil || g.winners[i].cst < out.cst) {
+			out = &g.winners[i]
+		}
+	}
+	return out
+}
+
+// offer adds a candidate if it improves on the incumbent for its order or
+// for the overall winner set. Dominated candidates (worse cost, no new
+// order) are discarded.
+func (g *group) offer(c candidate) {
+	for i := range g.winners {
+		if g.winners[i].order == c.order {
+			if c.cst < g.winners[i].cst {
+				g.winners[i] = c
+			}
+			return
+		}
+	}
+	g.winners = append(g.winners, c)
+}
+
+// Optimize finds the cheapest physical plan for tpl under selectivity
+// vector sv and returns it with its estimated cost. This corresponds to a
+// full optimizer call in the paper: it searches the space of join orders,
+// join algorithms and access paths.
+func (o *Optimizer) Optimize(tpl *query.Template, sv []float64) (*plan.Plan, float64, error) {
+	env, err := NewEnv(tpl, sv, o.Stats)
+	if err != nil {
+		return nil, 0, err
+	}
+	atomic.AddInt64(&o.optCalls, 1)
+
+	n := len(tpl.Tables)
+	if n > 20 {
+		return nil, 0, fmt.Errorf("memo: template %s joins %d tables; limit is 20", tpl.Name, n)
+	}
+	tableIdx := make(map[string]int, n)
+	for i, t := range tpl.Tables {
+		tableIdx[t] = i
+	}
+	// adj[i] is the bitmask of tables joined to table i.
+	adj := make([]uint32, n)
+	type edge struct {
+		a, b       int
+		aCol, bCol string
+		sel        float64
+	}
+	edges := make([]edge, 0, len(tpl.Joins))
+	for _, j := range tpl.Joins {
+		a, b := tableIdx[j.Left], tableIdx[j.Right]
+		adj[a] |= 1 << uint(b)
+		adj[b] |= 1 << uint(a)
+		edges = append(edges, edge{a: a, b: b, aCol: j.LeftCol, bCol: j.RightCol, sel: j.Selectivity})
+	}
+
+	groups := make(map[uint32]*group, 1<<uint(n))
+
+	// Leaf groups: access-path selection per table.
+	for i, tname := range tpl.Tables {
+		t := o.Cat.Table(tname)
+		g := &group{}
+		tsel := env.TableSel(tname)
+		card := float64(t.Rows) * tsel
+		nPreds := env.NumPredsOn(tname)
+
+		// Full table scan: all predicates are residual filters.
+		scanCost := o.Model.TableScanCost(t) + o.Model.FilterCost(float64(t.Rows), nPreds)
+		g.offer(candidate{
+			node:     &plan.Node{Op: plan.TableScan, Table: tname, ResidualPreds: nPreds},
+			cst:      scanCost,
+			card:     card,
+			rowBytes: t.RowBytes,
+		})
+		atomic.AddInt64(&o.exprCosted, 1)
+
+		// Index scans: one per index; usable as an access path when a
+		// predicate exists on the index column, and always usable as an
+		// order-delivering full scan via the clustered index.
+		for _, ix := range t.Indexes {
+			ixSel, hasPred := env.PredSelOn(tname, ix.Column)
+			if !hasPred {
+				if !ix.Clustered {
+					continue
+				}
+				ixSel = 1 // clustered full scan in index order
+			}
+			matched := float64(t.Rows) * ixSel
+			cst := o.Model.IndexScanCost(t, ix.Clustered, ixSel)
+			residual := nPreds
+			if hasPred {
+				residual--
+			}
+			cst += o.Model.FilterCost(matched, residual)
+			g.offer(candidate{
+				node: &plan.Node{
+					Op: plan.IndexScan, Table: tname, Index: ix.Name,
+					IndexColumn: ix.Column, Clustered: ix.Clustered,
+					ResidualPreds: residual,
+				},
+				cst:      cst,
+				card:     card,
+				rowBytes: t.RowBytes,
+				order:    tname + "." + ix.Column,
+			})
+			atomic.AddInt64(&o.exprCosted, 1)
+		}
+		groups[1<<uint(i)] = g
+	}
+
+	// crossInfo computes, for a (left, right) mask pair, the product of the
+	// selectivities of the crossing join edges and the representative join
+	// columns on each side. Returns ok=false if no edge crosses.
+	crossInfo := func(lm, rm uint32) (sel float64, lCol, rCol string, ok bool) {
+		sel = 1
+		for _, e := range edges {
+			la, ra := uint32(1)<<uint(e.a), uint32(1)<<uint(e.b)
+			switch {
+			case lm&la != 0 && rm&ra != 0:
+				sel *= e.sel
+				if !ok {
+					lCol = tpl.Tables[e.a] + "." + e.aCol
+					rCol = tpl.Tables[e.b] + "." + e.bCol
+				}
+				ok = true
+			case lm&ra != 0 && rm&la != 0:
+				sel *= e.sel
+				if !ok {
+					lCol = tpl.Tables[e.b] + "." + e.bCol
+					rCol = tpl.Tables[e.a] + "." + e.aCol
+				}
+				ok = true
+			}
+		}
+		return sel, lCol, rCol, ok
+	}
+
+	connected := func(mask uint32) bool {
+		if mask == 0 {
+			return false
+		}
+		// BFS from the lowest set bit.
+		start := mask & (^mask + 1)
+		seen := start
+		frontier := start
+		for frontier != 0 {
+			next := uint32(0)
+			for f := frontier; f != 0; {
+				i := trailingZeros(f)
+				f &^= 1 << uint(i)
+				next |= adj[i] & mask &^ seen
+			}
+			seen |= next
+			frontier = next
+		}
+		return seen == mask
+	}
+
+	full := uint32(1)<<uint(n) - 1
+	// Enumerate masks in increasing popcount order (natural order works:
+	// any submask of m is numerically smaller than m).
+	for mask := uint32(1); mask <= full; mask++ {
+		if mask&full != mask || popcount(mask) < 2 || !connected(mask) {
+			continue
+		}
+		g := &group{}
+		// Enumerate proper submasks as the left (outer) input.
+		for sub := (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask {
+			rest := mask ^ sub
+			lg, rg := groups[sub], groups[rest]
+			if lg == nil || rg == nil {
+				continue
+			}
+			jsel, lCol, rCol, ok := crossInfo(sub, rest)
+			if !ok {
+				continue // Cartesian products are not enumerated.
+			}
+			l, r := lg.best(), rg.best()
+			if l == nil || r == nil {
+				continue
+			}
+			outCard := l.card * r.card * jsel
+			outBytes := l.rowBytes + r.rowBytes
+
+			// Hash join: build on the inner (right) input.
+			hjCost := l.cst + r.cst + o.Model.HashJoinCost(l.card, r.card, r.rowBytes)
+			g.offer(candidate{
+				node: &plan.Node{Op: plan.HashJoin, JoinCol: lCol, RightJoinCol: rCol, JoinSel: jsel,
+					Children: []*plan.Node{l.node, r.node}},
+				cst: hjCost, card: outCard, rowBytes: outBytes,
+			})
+			// Nested loops join.
+			nlCost := l.cst + r.cst + o.Model.NLJoinCost(l.card, r.card)
+			g.offer(candidate{
+				node: &plan.Node{Op: plan.NLJoin, JoinCol: lCol, RightJoinCol: rCol, JoinSel: jsel,
+					Children: []*plan.Node{l.node, r.node}},
+				cst: nlCost, card: outCard, rowBytes: outBytes,
+			})
+			atomic.AddInt64(&o.exprCosted, 2)
+
+			// Merge join: try every (left order, right order) pairing so a
+			// pre-sorted index scan can discount the sort.
+			for _, lc := range lg.winners {
+				for _, rc := range rg.winners {
+					lSorted := lc.order != "" && lc.order == lCol
+					rSorted := rc.order != "" && rc.order == rCol
+					// Only consider non-best children when they supply a
+					// useful order; otherwise they are dominated.
+					if (lc.cst > l.cst && !lSorted) || (rc.cst > r.cst && !rSorted) {
+						continue
+					}
+					mjCost := lc.cst + rc.cst + o.Model.MergeJoinCost(lc.card, rc.card, lSorted, rSorted)
+					g.offer(candidate{
+						node: &plan.Node{Op: plan.MergeJoin, JoinCol: lCol, RightJoinCol: rCol, JoinSel: jsel,
+							Children: []*plan.Node{lc.node, rc.node}},
+						cst: mjCost, card: outCard, rowBytes: outBytes,
+					})
+					atomic.AddInt64(&o.exprCosted, 1)
+				}
+			}
+		}
+		if len(g.winners) > 0 {
+			groups[mask] = g
+		}
+	}
+
+	top := groups[full]
+	if top == nil {
+		return nil, 0, fmt.Errorf("memo: no plan found for template %s", tpl.Name)
+	}
+	bestCand := top.best()
+	root := bestCand.node
+	total := bestCand.cst
+
+	if tpl.Agg == query.GroupBy {
+		inCard := bestCand.card
+		hashCost := total + o.Model.HashAggCost(inCard)
+		streamCost := total + o.Model.StreamAggCost(inCard)
+		atomic.AddInt64(&o.exprCosted, 2)
+		if hashCost <= streamCost {
+			root = &plan.Node{Op: plan.HashAgg, Children: []*plan.Node{root}}
+			total = hashCost
+		} else {
+			root = &plan.Node{Op: plan.StreamAgg, Children: []*plan.Node{root}}
+			total = streamCost
+		}
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) || total <= 0 {
+		return nil, 0, fmt.Errorf("memo: degenerate plan cost %v for template %s", total, tpl.Name)
+	}
+	return plan.New(tpl.Name, root), total, nil
+}
+
+func popcount(x uint32) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+func trailingZeros(x uint32) int {
+	if x == 0 {
+		return 32
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package memo
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Recost computes the estimated cost of a fixed physical plan p for
+// template tpl under selectivity vector sv — without any plan search. This
+// is the engine's "Recost plan" API (§4.2): cardinalities and operator
+// costs are re-derived bottom-up exactly as the optimizer would derive them
+// for the same tree, so Recost(Optimize(sv).plan, sv) equals the optimizer's
+// winning cost.
+func (o *Optimizer) Recost(p *plan.Plan, tpl *query.Template, sv []float64) (float64, error) {
+	env, err := NewEnv(tpl, sv, o.Stats)
+	if err != nil {
+		return 0, err
+	}
+	atomic.AddInt64(&o.recalls, 1)
+	c, _, _, err := o.recostNode(p.Root, env)
+	return c, err
+}
+
+// recostNode returns (cost, outputCard, outputRowBytes) for the subtree.
+func (o *Optimizer) recostNode(n *plan.Node, env *Env) (cst, card float64, rowBytes int, err error) {
+	if n == nil {
+		return 0, 0, 0, fmt.Errorf("memo: recost of nil plan node")
+	}
+	atomic.AddInt64(&o.recostOps, 1)
+	switch n.Op {
+	case plan.TableScan:
+		t := o.Cat.Table(n.Table)
+		if t == nil {
+			return 0, 0, 0, fmt.Errorf("memo: recost references unknown table %s", n.Table)
+		}
+		nPreds := env.NumPredsOn(n.Table)
+		cst = o.Model.TableScanCost(t) + o.Model.FilterCost(float64(t.Rows), nPreds)
+		card = float64(t.Rows) * env.TableSel(n.Table)
+		return cst, card, t.RowBytes, nil
+
+	case plan.IndexScan:
+		t := o.Cat.Table(n.Table)
+		if t == nil {
+			return 0, 0, 0, fmt.Errorf("memo: recost references unknown table %s", n.Table)
+		}
+		ixSel, hasPred := env.PredSelOn(n.Table, n.IndexColumn)
+		if !hasPred {
+			ixSel = 1
+		}
+		matched := float64(t.Rows) * ixSel
+		residual := env.NumPredsOn(n.Table)
+		if hasPred {
+			residual--
+		}
+		cst = o.Model.IndexScanCost(t, n.Clustered, ixSel) + o.Model.FilterCost(matched, residual)
+		card = float64(t.Rows) * env.TableSel(n.Table)
+		return cst, card, t.RowBytes, nil
+
+	case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
+		lc, lCard, lBytes, err := o.recostNode(n.Children[0], env)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		rc, rCard, rBytes, err := o.recostNode(n.Children[1], env)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var opCost float64
+		switch n.Op {
+		case plan.NLJoin:
+			opCost = o.Model.NLJoinCost(lCard, rCard)
+		case plan.HashJoin:
+			opCost = o.Model.HashJoinCost(lCard, rCard, rBytes)
+		case plan.MergeJoin:
+			lSorted := deliversOrder(n.Children[0], n.JoinCol)
+			rSorted := deliversOrder(n.Children[1], n.RightJoinCol)
+			opCost = o.Model.MergeJoinCost(lCard, rCard, lSorted, rSorted)
+		}
+		return lc + rc + opCost, lCard * rCard * n.JoinSel, lBytes + rBytes, nil
+
+	case plan.HashAgg, plan.StreamAgg:
+		ic, iCard, iBytes, err := o.recostNode(n.Children[0], env)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var opCost float64
+		if n.Op == plan.HashAgg {
+			opCost = o.Model.HashAggCost(iCard)
+		} else {
+			opCost = o.Model.StreamAggCost(iCard)
+		}
+		outCard := iCard
+		if env.Tpl.Agg == query.GroupBy && env.Tpl.GroupCard > 0 && env.Tpl.GroupCard < outCard {
+			outCard = env.Tpl.GroupCard
+		}
+		return ic + opCost, outCard, iBytes, nil
+
+	default:
+		return 0, 0, 0, fmt.Errorf("memo: recost of unsupported operator %s", n.Op)
+	}
+}
+
+// deliversOrder reports whether the child plan delivers rows sorted on the
+// given "table.column" key — true exactly when it is an index scan whose
+// index column is that key, mirroring the order property used during
+// optimization.
+func deliversOrder(n *plan.Node, key string) bool {
+	return n != nil && n.Op == plan.IndexScan && n.Table+"."+n.IndexColumn == key
+}

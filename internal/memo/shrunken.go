@@ -1,0 +1,189 @@
+package memo
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// ShrunkenMemo is the compact, cacheable representation of one winning plan
+// described in Appendix B of the paper: the memo pruned of all groups and
+// expressions not needed by the final plan, flattened into a post-order
+// operator array. Recosting replaces the selectivities in the base entries
+// and re-derives cardinality and cost bottom-up with plain arithmetic — no
+// pointer-chasing plan walk, no plan search.
+//
+// The plan cache stores one ShrunkenMemo per cached plan; its Size is the
+// dominant per-plan memory overhead the paper discusses in §6.1.
+type ShrunkenMemo struct {
+	tpl *query.Template
+	ops []shrunkenOp
+	// root is the index of the final operator (always len(ops)-1).
+	root int
+}
+
+// shrunkenOp is one operator entry. Child references are indices into the
+// ops slice (always smaller than the entry's own index: post-order).
+type shrunkenOp struct {
+	op    plan.OpType
+	left  int // -1 for leaves
+	right int // -1 for leaves and unary ops
+
+	// Leaf data.
+	table       string
+	rows        float64
+	rowBytes    int
+	clustered   bool
+	indexColumn string
+	nPreds      int
+	hasIxPred   bool
+
+	// Join data.
+	joinSel                 float64
+	leftSorted, rightSorted bool
+}
+
+// NewShrunkenMemo compiles a plan into its shrunken-memo form. The
+// compilation cost is paid once per stored plan (per Appendix B, it is not
+// part of the Recost API's overhead).
+func NewShrunkenMemo(o *Optimizer, p *plan.Plan, tpl *query.Template) (*ShrunkenMemo, error) {
+	sm := &ShrunkenMemo{tpl: tpl}
+	idx, err := sm.compile(o, p.Root)
+	if err != nil {
+		return nil, err
+	}
+	sm.root = idx
+	return sm, nil
+}
+
+func (sm *ShrunkenMemo) compile(o *Optimizer, n *plan.Node) (int, error) {
+	if n == nil {
+		return -1, fmt.Errorf("memo: shrunken memo of nil node")
+	}
+	switch n.Op {
+	case plan.TableScan, plan.IndexScan:
+		t := o.Cat.Table(n.Table)
+		if t == nil {
+			return -1, fmt.Errorf("memo: shrunken memo references unknown table %s", n.Table)
+		}
+		e := shrunkenOp{
+			op: n.Op, left: -1, right: -1,
+			table: n.Table, rows: float64(t.Rows), rowBytes: t.RowBytes,
+			clustered: n.Clustered, indexColumn: n.IndexColumn,
+		}
+		sm.ops = append(sm.ops, e)
+		return len(sm.ops) - 1, nil
+
+	case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
+		l, err := sm.compile(o, n.Children[0])
+		if err != nil {
+			return -1, err
+		}
+		r, err := sm.compile(o, n.Children[1])
+		if err != nil {
+			return -1, err
+		}
+		e := shrunkenOp{
+			op: n.Op, left: l, right: r, joinSel: n.JoinSel,
+			leftSorted:  deliversOrder(n.Children[0], n.JoinCol),
+			rightSorted: deliversOrder(n.Children[1], n.RightJoinCol),
+		}
+		sm.ops = append(sm.ops, e)
+		return len(sm.ops) - 1, nil
+
+	case plan.HashAgg, plan.StreamAgg:
+		c, err := sm.compile(o, n.Children[0])
+		if err != nil {
+			return -1, err
+		}
+		sm.ops = append(sm.ops, shrunkenOp{op: n.Op, left: c, right: -1})
+		return len(sm.ops) - 1, nil
+
+	default:
+		return -1, fmt.Errorf("memo: shrunken memo of unsupported operator %s", n.Op)
+	}
+}
+
+// Size returns an estimate of the memory footprint in bytes, used for the
+// plan-cache overhead accounting of §6.1.
+func (sm *ShrunkenMemo) Size() int {
+	const opBytes = 112 // approximate size of one shrunkenOp entry
+	return len(sm.ops)*opBytes + 64
+}
+
+// NumOps returns the number of operator entries retained after pruning.
+func (sm *ShrunkenMemo) NumOps() int { return len(sm.ops) }
+
+// Recost re-derives the plan's cost for selectivity vector sv. It is the
+// fast path used by the PQO cost and redundancy checks.
+func (sm *ShrunkenMemo) Recost(o *Optimizer, sv []float64) (float64, error) {
+	env, err := NewEnv(sm.tpl, sv, o.Stats)
+	if err != nil {
+		return 0, err
+	}
+	atomic.AddInt64(&o.recalls, 1)
+	atomic.AddInt64(&o.recostOps, int64(len(sm.ops)))
+
+	type state struct {
+		cst, card float64
+		rowBytes  int
+	}
+	states := make([]state, len(sm.ops))
+	for i := range sm.ops {
+		e := &sm.ops[i]
+		switch e.op {
+		case plan.TableScan:
+			nPreds := env.NumPredsOn(e.table)
+			cst := o.Model.TableScanCost(o.Cat.Table(e.table)) + o.Model.FilterCost(e.rows, nPreds)
+			states[i] = state{cst: cst, card: e.rows * env.TableSel(e.table), rowBytes: e.rowBytes}
+
+		case plan.IndexScan:
+			ixSel, hasPred := env.PredSelOn(e.table, e.indexColumn)
+			if !hasPred {
+				ixSel = 1
+			}
+			matched := e.rows * ixSel
+			residual := env.NumPredsOn(e.table)
+			if hasPred {
+				residual--
+			}
+			cst := o.Model.IndexScanCost(o.Cat.Table(e.table), e.clustered, ixSel) +
+				o.Model.FilterCost(matched, residual)
+			states[i] = state{cst: cst, card: e.rows * env.TableSel(e.table), rowBytes: e.rowBytes}
+
+		case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
+			l, r := states[e.left], states[e.right]
+			var opCost float64
+			switch e.op {
+			case plan.NLJoin:
+				opCost = o.Model.NLJoinCost(l.card, r.card)
+			case plan.HashJoin:
+				opCost = o.Model.HashJoinCost(l.card, r.card, r.rowBytes)
+			case plan.MergeJoin:
+				opCost = o.Model.MergeJoinCost(l.card, r.card, e.leftSorted, e.rightSorted)
+			}
+			states[i] = state{
+				cst:      l.cst + r.cst + opCost,
+				card:     l.card * r.card * e.joinSel,
+				rowBytes: l.rowBytes + r.rowBytes,
+			}
+
+		case plan.HashAgg, plan.StreamAgg:
+			in := states[e.left]
+			var opCost float64
+			if e.op == plan.HashAgg {
+				opCost = o.Model.HashAggCost(in.card)
+			} else {
+				opCost = o.Model.StreamAggCost(in.card)
+			}
+			outCard := in.card
+			if sm.tpl.Agg == query.GroupBy && sm.tpl.GroupCard > 0 && sm.tpl.GroupCard < outCard {
+				outCard = sm.tpl.GroupCard
+			}
+			states[i] = state{cst: in.cst + opCost, card: outCard, rowBytes: in.rowBytes}
+		}
+	}
+	return states[sm.root].cst, nil
+}

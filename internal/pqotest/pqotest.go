@@ -1,0 +1,177 @@
+// Package pqotest provides a synthetic PQO engine with closed-form,
+// multilinear plan cost functions. Multilinear polynomials with
+// non-negative coefficients satisfy both the PCM assumption (monotone in
+// every selectivity) and the BCG assumption with fi(α)=α exactly, so the
+// paper's λ-optimality guarantee must hold *unconditionally* against this
+// engine — which makes it the right substrate for property tests of the
+// techniques in packages core and baselines.
+package pqotest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// PlanSpec defines one synthetic plan's cost function:
+//
+//	Cost(sv) = Const + Σ_i Linear[i]·sv[i] + Σ Cross[{i,j}]·sv[i]·sv[j]
+//
+// All coefficients must be non-negative for BCG/PCM compliance; Jump, if
+// set, adds a discontinuity (for violation-detection tests): JumpAmount is
+// added when sv[JumpDim] > JumpAt.
+type PlanSpec struct {
+	Name   string
+	Const  float64
+	Linear []float64
+	Cross  map[[2]int]float64
+
+	JumpDim    int
+	JumpAt     float64
+	JumpAmount float64
+}
+
+// Cost evaluates the cost function at sv.
+func (p *PlanSpec) Cost(sv []float64) float64 {
+	c := p.Const
+	for i, b := range p.Linear {
+		c += b * sv[i]
+	}
+	for k, v := range p.Cross {
+		c += v * sv[k[0]] * sv[k[1]]
+	}
+	if p.JumpAmount > 0 && sv[p.JumpDim] > p.JumpAt {
+		c += p.JumpAmount
+	}
+	return c
+}
+
+// Engine is a synthetic PQO engine over a fixed plan set. It implements
+// core.Engine.
+type Engine struct {
+	d     int
+	specs []PlanSpec
+	cps   []*engine.CachedPlan
+	byFP  map[string]int
+
+	OptimizeCalls int
+	RecostCalls   int
+}
+
+// NewEngine builds a synthetic engine with d dimensions over the given plan
+// specs.
+func NewEngine(d int, specs []PlanSpec) (*Engine, error) {
+	if d <= 0 || len(specs) == 0 {
+		return nil, fmt.Errorf("pqotest: need d > 0 and at least one plan")
+	}
+	e := &Engine{d: d, specs: specs, byFP: make(map[string]int, len(specs))}
+	for i := range specs {
+		if len(specs[i].Linear) != d {
+			return nil, fmt.Errorf("pqotest: plan %d has %d linear coefficients, want %d",
+				i, len(specs[i].Linear), d)
+		}
+		cp := &engine.CachedPlan{Plan: plan.New("synthetic", &plan.Node{
+			Op: plan.TableScan, Table: fmt.Sprintf("plan-%s-%d", specs[i].Name, i),
+		})}
+		e.cps = append(e.cps, cp)
+		e.byFP[cp.Fingerprint()] = i
+	}
+	return e, nil
+}
+
+// Dimensions implements core.Engine.
+func (e *Engine) Dimensions() int { return e.d }
+
+// Optimize implements core.Engine: it returns the cheapest plan at sv.
+func (e *Engine) Optimize(sv []float64) (*engine.CachedPlan, float64, error) {
+	if len(sv) != e.d {
+		return nil, 0, fmt.Errorf("pqotest: sVector length %d, want %d", len(sv), e.d)
+	}
+	e.OptimizeCalls++
+	best, bestCost := -1, math.Inf(1)
+	for i := range e.specs {
+		if c := e.specs[i].Cost(sv); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return e.cps[best], bestCost, nil
+}
+
+// Recost implements core.Engine.
+func (e *Engine) Recost(cp *engine.CachedPlan, sv []float64) (float64, error) {
+	i, ok := e.byFP[cp.Fingerprint()]
+	if !ok {
+		return 0, fmt.Errorf("pqotest: unknown plan %q", cp.Fingerprint())
+	}
+	e.RecostCalls++
+	return e.specs[i].Cost(sv), nil
+}
+
+// OptimalCost returns the ground-truth optimal cost at sv without charging
+// the Optimize counter.
+func (e *Engine) OptimalCost(sv []float64) float64 {
+	best := math.Inf(1)
+	for i := range e.specs {
+		if c := e.specs[i].Cost(sv); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// PlanCost returns a plan's cost at sv without charging the Recost counter.
+func (e *Engine) PlanCost(cp *engine.CachedPlan, sv []float64) float64 {
+	i, ok := e.byFP[cp.Fingerprint()]
+	if !ok {
+		return math.NaN()
+	}
+	return e.specs[i].Cost(sv)
+}
+
+// RandomEngine generates an engine with nPlans random multilinear plans over
+// d dimensions. The plans are constructed so different selectivity regions
+// favour different plans: each plan is cheap along a random subset of
+// dimensions and expensive along the rest.
+func RandomEngine(rng *rand.Rand, d, nPlans int) (*Engine, error) {
+	specs := make([]PlanSpec, nPlans)
+	for i := range specs {
+		lin := make([]float64, d)
+		for j := range lin {
+			if rng.Intn(2) == 0 {
+				lin[j] = 1 + rng.Float64()*10 // cheap dimension
+			} else {
+				lin[j] = 50 + rng.Float64()*200 // expensive dimension
+			}
+		}
+		cross := map[[2]int]float64{}
+		if d >= 2 && rng.Intn(2) == 0 {
+			a, b := rng.Intn(d), rng.Intn(d)
+			if a != b {
+				if a > b {
+					a, b = b, a
+				}
+				cross[[2]int{a, b}] = 20 + rng.Float64()*100
+			}
+		}
+		specs[i] = PlanSpec{
+			Name:   fmt.Sprintf("p%d", i),
+			Const:  1 + rng.Float64()*5,
+			Linear: lin,
+			Cross:  cross,
+		}
+	}
+	return NewEngine(d, specs)
+}
+
+// RandomSVector draws a selectivity vector with log-uniform entries in
+// [1e-4, 1].
+func RandomSVector(rng *rand.Rand, d int) []float64 {
+	sv := make([]float64, d)
+	for i := range sv {
+		sv[i] = math.Pow(10, -4*rng.Float64())
+	}
+	return sv
+}

@@ -1,0 +1,32 @@
+package sqlparse_test
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+// ExampleParse shows declaring a parameterized template as SQL text:
+// numbered ? markers become dimensions, literals become constant
+// predicates, and equi-join conditions become join edges with
+// catalog-derived selectivities.
+func ExampleParse() {
+	cat := catalog.NewTPCH(1)
+	tpl, err := sqlparse.Parse("example", `
+		SELECT * FROM lineitem, orders
+		WHERE lineitem.l_orderkey = orders.o_orderkey
+		  AND lineitem.l_shipdate <= ?0
+		  AND orders.o_totalprice >= ?1
+		  AND orders.o_shippriority <= 2`, cat)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dimensions:", tpl.Dimensions())
+	fmt.Println("joins:", len(tpl.Joins))
+	fmt.Println(tpl.SQL())
+	// Output:
+	// dimensions: 2
+	// joins: 1
+	// SELECT * FROM lineitem, orders WHERE lineitem.l_orderkey = orders.o_orderkey AND lineitem.l_shipdate <= ?0 AND orders.o_totalprice >= ?1 AND orders.o_shippriority <= 2
+}

@@ -1,0 +1,161 @@
+// Package sqlparse parses a SQL subset into query templates, so templates
+// can be declared as SQL text rather than Go structs:
+//
+//	SELECT * FROM lineitem, orders
+//	WHERE lineitem.l_orderkey = orders.o_orderkey
+//	  AND lineitem.l_shipdate <= ?0
+//	  AND orders.o_totalprice >= 1000
+//	[GROUP BY g]
+//
+// Supported: multi-table FROM lists, conjunctive WHERE clauses mixing
+// equi-join conditions (table.col = table.col), parameterized one-sided
+// range predicates (table.col <= ?N / >= ?N) and constant range predicates
+// (table.col <= literal). Join selectivities are derived from the catalog
+// as 1/distinct(key column), the standard foreign-key estimate.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokParam // ?N
+	tokComma
+	tokDot
+	tokStar
+	tokLParen
+	tokRParen
+	tokEq
+	tokLE
+	tokGE
+	tokLT
+	tokGT
+	tokKeyword
+)
+
+// token is one lexical token with its source position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"group": true, "by": true, "count": true, "as": true,
+}
+
+// lex tokenizes the input. It returns an error for any unsupported rune.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokLE, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLT, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokGE, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGT, ">", i})
+				i++
+			}
+		case c == '?':
+			j := i + 1
+			for j < n && isDigit(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokParam, input[i:j], i})
+			i = j
+		case isDigit(c) || (c == '-' && i+1 < n && isDigit(input[i+1])):
+			j := i + 1
+			seenDot := false
+			for j < n && (isDigit(input[j]) || (!seenDot && input[j] == '.') ||
+				input[j] == 'e' || input[j] == 'E' ||
+				((input[j] == '+' || input[j] == '-') && (input[j-1] == 'e' || input[j-1] == 'E'))) {
+				if input[j] == '.' {
+					// A dot followed by a non-digit terminates the number
+					// (e.g. "1.x" is not a valid literal here).
+					if j+1 >= n || !isDigit(input[j+1]) {
+						break
+					}
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			if keywords[strings.ToLower(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToLower(word), i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,306 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Parse parses SQL text into a validated query template bound to cat. The
+// template name is supplied by the caller.
+func Parse(name, sql string, cat *catalog.Catalog) (*query.Template, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat}
+	tpl, err := p.parseSelect(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := tpl.Validate(); err != nil {
+		return nil, fmt.Errorf("sqlparse: %w", err)
+	}
+	return tpl, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	cat  *catalog.Catalog
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("sqlparse: expected %s at offset %d, got %s", what, t.pos, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sqlparse: expected %q at offset %d, got %s", kw, t.pos, t)
+	}
+	return nil
+}
+
+// colRef is a parsed table.column reference.
+type colRef struct {
+	table, column string
+}
+
+func (p *parser) parseColRef() (colRef, error) {
+	tab, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return colRef{}, err
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return colRef{}, err
+	}
+	col, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return colRef{}, err
+	}
+	return colRef{table: tab.text, column: col.text}, nil
+}
+
+func (p *parser) parseSelect(name string) (*query.Template, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	tpl := &query.Template{Name: name, Catalog: p.cat}
+
+	// Projection: either '*' or an aggregation list containing COUNT(*).
+	if p.cur().kind == tokStar {
+		p.next()
+	} else {
+		hasCount, err := p.parseProjection()
+		if err != nil {
+			return nil, err
+		}
+		if hasCount {
+			tpl.Agg = query.GroupBy
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "table name")
+		if err != nil {
+			return nil, err
+		}
+		tpl.Tables = append(tpl.Tables, t.text)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+
+	if p.cur().kind == tokKeyword && p.cur().text == "where" {
+		p.next()
+		if err := p.parseConjuncts(tpl); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.cur().kind == tokKeyword && p.cur().text == "group" {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		// The grouping expression is a single identifier or column ref; it
+		// only marks the template as aggregating.
+		if _, err := p.expect(tokIdent, "grouping column"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokDot {
+			p.next()
+			if _, err := p.expect(tokIdent, "grouping column"); err != nil {
+				return nil, err
+			}
+		}
+		tpl.Agg = query.GroupBy
+	}
+	if tpl.Agg == query.GroupBy && tpl.GroupCard == 0 {
+		tpl.GroupCard = 100
+	}
+
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: unexpected %s at offset %d", t, t.pos)
+	}
+	if err := p.numberParams(tpl); err != nil {
+		return nil, err
+	}
+	return tpl, nil
+}
+
+// parseProjection consumes a projection list, reporting whether it contains
+// a COUNT(*) aggregate.
+func (p *parser) parseProjection() (bool, error) {
+	hasCount := false
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokKeyword && t.text == "count":
+			if _, err := p.expect(tokLParen, "'('"); err != nil {
+				return false, err
+			}
+			if _, err := p.expect(tokStar, "'*'"); err != nil {
+				return false, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return false, err
+			}
+			hasCount = true
+		case t.kind == tokIdent:
+			// A bare column or table.column projection item.
+			if p.cur().kind == tokDot {
+				p.next()
+				if _, err := p.expect(tokIdent, "column name"); err != nil {
+					return false, err
+				}
+			}
+		default:
+			return false, fmt.Errorf("sqlparse: unexpected %s in projection at offset %d", t, t.pos)
+		}
+		if p.cur().kind != tokComma {
+			return hasCount, nil
+		}
+		p.next()
+	}
+}
+
+// parseConjuncts consumes AND-separated predicates, classifying each as a
+// join edge or a range predicate.
+func (p *parser) parseConjuncts(tpl *query.Template) error {
+	for {
+		left, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		op := p.next()
+		switch op.kind {
+		case tokEq:
+			right, err := p.parseColRef()
+			if err != nil {
+				return err
+			}
+			tpl.Joins = append(tpl.Joins, p.joinEdge(left, right))
+		case tokLE, tokGE, tokLT, tokGT:
+			cmp := query.LE
+			if op.kind == tokGE || op.kind == tokGT {
+				cmp = query.GE
+			}
+			t := p.next()
+			switch t.kind {
+			case tokParam:
+				ordinal := -1
+				if len(t.text) > 1 {
+					n, err := strconv.Atoi(t.text[1:])
+					if err != nil {
+						return fmt.Errorf("sqlparse: bad parameter %q at offset %d", t.text, t.pos)
+					}
+					ordinal = n
+				}
+				tpl.Preds = append(tpl.Preds, query.Predicate{
+					Table: left.table, Column: left.column, Op: cmp,
+					// Unnumbered '?' markers get ordinals assigned later;
+					// temporarily encode them as -2-index.
+					Param: encodeParam(ordinal, len(tpl.Preds)),
+				})
+			case tokNumber:
+				v, err := strconv.ParseFloat(t.text, 64)
+				if err != nil {
+					return fmt.Errorf("sqlparse: bad literal %q at offset %d", t.text, t.pos)
+				}
+				tpl.Preds = append(tpl.Preds, query.Predicate{
+					Table: left.table, Column: left.column, Op: cmp, Param: -1, Value: v,
+				})
+			default:
+				return fmt.Errorf("sqlparse: expected parameter or literal at offset %d, got %s", t.pos, t)
+			}
+		default:
+			return fmt.Errorf("sqlparse: expected comparison operator at offset %d, got %s", op.pos, op)
+		}
+		if p.cur().kind == tokKeyword && p.cur().text == "and" {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// encodeParam returns the explicit ordinal, or a sentinel (-2 - seq) for
+// unnumbered '?' markers resolved by numberParams.
+func encodeParam(explicit, seq int) int {
+	if explicit >= 0 {
+		return explicit
+	}
+	return -2 - seq
+}
+
+// numberParams assigns dense ordinals: explicit ?N markers keep N,
+// unnumbered ? markers fill the remaining ordinals in syntactic order.
+func (p *parser) numberParams(tpl *query.Template) error {
+	used := map[int]bool{}
+	anon := 0
+	for _, pr := range tpl.Preds {
+		if pr.Param >= 0 {
+			if used[pr.Param] {
+				return fmt.Errorf("sqlparse: parameter ?%d used twice", pr.Param)
+			}
+			used[pr.Param] = true
+		} else if pr.Param <= -2 {
+			anon++
+		}
+	}
+	nextFree := 0
+	for i := range tpl.Preds {
+		if tpl.Preds[i].Param <= -2 {
+			for used[nextFree] {
+				nextFree++
+			}
+			tpl.Preds[i].Param = nextFree
+			used[nextFree] = true
+		}
+	}
+	return nil
+}
+
+// joinEdge builds the join with the standard 1/distinct(key) selectivity;
+// the side with the larger distinct count is treated as the key side. When
+// the catalog cannot resolve a side (Validate will reject the template
+// anyway), a selectivity of 1 is used.
+func (p *parser) joinEdge(left, right colRef) query.Join {
+	distinct := func(r colRef) int64 {
+		if t := p.cat.Table(r.table); t != nil {
+			if c := t.Column(r.column); c != nil {
+				return c.Distinct
+			}
+		}
+		return 0
+	}
+	dl, dr := distinct(left), distinct(right)
+	d := dl
+	if dr > d {
+		d = dr
+	}
+	sel := 1.0
+	if d > 0 {
+		sel = 1.0 / float64(d)
+	}
+	return query.Join{
+		Left: left.table, LeftCol: left.column,
+		Right: right.table, RightCol: right.column,
+		Selectivity: sel,
+	}
+}

@@ -1,0 +1,225 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+func cat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	return catalog.NewTPCH(0.1)
+}
+
+func TestParseBasicJoinTemplate(t *testing.T) {
+	sql := `SELECT * FROM lineitem, orders
+	        WHERE lineitem.l_orderkey = orders.o_orderkey
+	          AND lineitem.l_shipdate <= ?0
+	          AND orders.o_totalprice >= ?1`
+	tpl, err := Parse("q", sql, cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Tables) != 2 || tpl.Tables[0] != "lineitem" || tpl.Tables[1] != "orders" {
+		t.Errorf("tables = %v", tpl.Tables)
+	}
+	if len(tpl.Joins) != 1 {
+		t.Fatalf("joins = %v", tpl.Joins)
+	}
+	j := tpl.Joins[0]
+	if j.Left != "lineitem" || j.LeftCol != "l_orderkey" || j.Right != "orders" || j.RightCol != "o_orderkey" {
+		t.Errorf("join = %+v", j)
+	}
+	if j.Selectivity <= 0 || j.Selectivity > 1e-5 {
+		t.Errorf("join selectivity = %v, want ~1/1.5e5", j.Selectivity)
+	}
+	if tpl.Dimensions() != 2 {
+		t.Errorf("dimensions = %d", tpl.Dimensions())
+	}
+	pp := tpl.ParamPredicates()
+	if pp[0].Column != "l_shipdate" || pp[0].Op != query.LE {
+		t.Errorf("param 0 = %+v", pp[0])
+	}
+	if pp[1].Column != "o_totalprice" || pp[1].Op != query.GE {
+		t.Errorf("param 1 = %+v", pp[1])
+	}
+}
+
+func TestParseConstantsAndStrictOps(t *testing.T) {
+	sql := `SELECT * FROM lineitem
+	        WHERE lineitem.l_shipdate < ?0
+	          AND lineitem.l_quantity > 25
+	          AND lineitem.l_discount <= 0.05`
+	tpl, err := Parse("q", sql, cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Dimensions() != 1 {
+		t.Fatalf("dimensions = %d", tpl.Dimensions())
+	}
+	consts := 0
+	for _, p := range tpl.Preds {
+		if p.Param == -1 {
+			consts++
+			if p.Column == "l_quantity" && (p.Op != query.GE || p.Value != 25) {
+				t.Errorf("l_quantity pred = %+v", p)
+			}
+			if p.Column == "l_discount" && (p.Op != query.LE || p.Value != 0.05) {
+				t.Errorf("l_discount pred = %+v", p)
+			}
+		}
+	}
+	if consts != 2 {
+		t.Errorf("constant predicates = %d, want 2", consts)
+	}
+}
+
+func TestParseAnonymousParams(t *testing.T) {
+	sql := `SELECT * FROM lineitem
+	        WHERE lineitem.l_shipdate <= ? AND lineitem.l_quantity >= ?`
+	tpl, err := Parse("q", sql, cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Dimensions() != 2 {
+		t.Fatalf("dimensions = %d, want 2", tpl.Dimensions())
+	}
+	pp := tpl.ParamPredicates()
+	if pp[0].Column != "l_shipdate" || pp[1].Column != "l_quantity" {
+		t.Errorf("anonymous params not in syntactic order: %+v", pp)
+	}
+}
+
+func TestParseMixedAnonymousAndExplicit(t *testing.T) {
+	sql := `SELECT * FROM lineitem
+	        WHERE lineitem.l_shipdate <= ?1 AND lineitem.l_quantity >= ?`
+	tpl, err := Parse("q", sql, cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := tpl.ParamPredicates()
+	if pp[1].Column != "l_shipdate" || pp[0].Column != "l_quantity" {
+		t.Errorf("mixed numbering wrong: %+v", pp)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT g, COUNT(*) FROM lineitem WHERE lineitem.l_shipdate <= ?0 GROUP BY g`,
+		`SELECT * FROM lineitem WHERE lineitem.l_shipdate <= ?0 GROUP BY lineitem.l_partkey`,
+	} {
+		tpl, err := Parse("q", sql, cat(t))
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if tpl.Agg != query.GroupBy {
+			t.Errorf("%s: Agg = %v, want GroupBy", sql, tpl.Agg)
+		}
+		if tpl.GroupCard <= 0 {
+			t.Errorf("GroupCard = %v", tpl.GroupCard)
+		}
+	}
+}
+
+func TestParseThreeWayJoin(t *testing.T) {
+	sql := `SELECT * FROM lineitem, orders, customer
+	        WHERE lineitem.l_orderkey = orders.o_orderkey
+	          AND orders.o_custkey = customer.c_custkey
+	          AND lineitem.l_shipdate <= ?0
+	          AND customer.c_acctbal >= ?1`
+	tpl, err := Parse("q", sql, cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tpl.Joins) != 2 || len(tpl.Tables) != 3 {
+		t.Errorf("joins=%d tables=%d", len(tpl.Joins), len(tpl.Tables))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want string
+	}{
+		{"garbage rune", `SELECT * FROM a WHERE a.b <= 'x'`, "unexpected character"},
+		{"missing select", `FROM lineitem`, `expected "select"`},
+		{"missing from", `SELECT * lineitem`, `expected "from"`},
+		{"bad projection", `SELECT <= FROM lineitem`, "unexpected"},
+		{"join to literal", `SELECT * FROM lineitem WHERE lineitem.l_orderkey = 3`, "table name"},
+		{"pred without dot", `SELECT * FROM lineitem WHERE shipdate <= ?0`, "'.'"},
+		{"bad op", `SELECT * FROM lineitem WHERE lineitem.l_shipdate , ?0`, "comparison operator"},
+		{"dup param", `SELECT * FROM lineitem WHERE lineitem.l_shipdate <= ?0 AND lineitem.l_quantity >= ?0`, "twice"},
+		{"unknown table", `SELECT * FROM nope WHERE nope.x <= ?0`, "unknown table"},
+		{"unknown column", `SELECT * FROM lineitem WHERE lineitem.zzz <= ?0`, "unknown column"},
+		{"trailing junk", `SELECT * FROM lineitem WHERE lineitem.l_shipdate <= ?0 ) `, "unexpected"},
+		{"disconnected", `SELECT * FROM lineitem, part WHERE lineitem.l_shipdate <= ?0`, "not connected"},
+		{"sparse params", `SELECT * FROM lineitem WHERE lineitem.l_shipdate <= ?5`, "not dense"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("q", tc.sql, cat(t))
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.sql, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error = %v, want containing %q", tc.sql, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRoundTripsThroughSQLRendering(t *testing.T) {
+	// The template's own SQL() rendering must re-parse to an equivalent
+	// template (fixed point after one iteration).
+	sql := `SELECT * FROM lineitem, orders
+	        WHERE lineitem.l_orderkey = orders.o_orderkey
+	          AND lineitem.l_shipdate <= ?0
+	          AND orders.o_totalprice >= 500`
+	c := cat(t)
+	tpl, err := Parse("q", sql, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse("q", tpl.SQL(), c)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", tpl.SQL(), err)
+	}
+	if re.SQL() != tpl.SQL() {
+		t.Errorf("round trip diverged:\n  %s\n  %s", tpl.SQL(), re.SQL())
+	}
+}
+
+func TestParsedTemplateOptimizes(t *testing.T) {
+	// Integration: a parsed template drives the optimizer end to end.
+	sql := `SELECT * FROM lineitem, orders
+	        WHERE lineitem.l_orderkey = orders.o_orderkey
+	          AND lineitem.l_shipdate <= ?0
+	          AND orders.o_orderdate <= ?1`
+	c := cat(t)
+	tpl, err := Parse("q", sql, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Dimensions() != 2 {
+		t.Fatalf("dimensions = %d", tpl.Dimensions())
+	}
+}
+
+func TestNumbersAndScientificNotation(t *testing.T) {
+	sql := `SELECT * FROM lineitem WHERE lineitem.l_extendedprice <= 1.5e4 AND lineitem.l_shipdate <= ?0`
+	tpl, err := Parse("q", sql, cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tpl.Preds {
+		if p.Param == -1 && p.Value != 1.5e4 {
+			t.Errorf("literal parsed as %v, want 15000", p.Value)
+		}
+	}
+}

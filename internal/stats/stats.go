@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+)
+
+// Store holds the histograms for every (table, column) of a catalog and
+// answers selectivity queries. It is the statistics module a database
+// engine's optimizer consults during logical property derivation.
+type Store struct {
+	cat   *catalog.Catalog
+	hists map[string]*Histogram // key: "table.column"
+}
+
+// DefaultSampleSize is the number of values sampled per column when building
+// a Store; DefaultBuckets is the histogram resolution. 200 equi-depth
+// buckets give ~0.5% selectivity resolution, comparable to SQL Server's
+// 200-step histograms.
+const (
+	DefaultSampleSize = 20000
+	DefaultBuckets    = 200
+)
+
+// Build constructs a statistics store for every column of every table in
+// cat, sampling values with gen.
+func Build(cat *catalog.Catalog, gen *datagen.Generator) (*Store, error) {
+	s := &Store{cat: cat, hists: make(map[string]*Histogram)}
+	for _, t := range cat.Tables() {
+		sample := DefaultSampleSize
+		if int64(sample) > t.Rows {
+			sample = int(t.Rows)
+		}
+		for _, col := range t.Columns {
+			vals, err := gen.ColumnSample(t.Name, col.Name, sample)
+			if err != nil {
+				return nil, fmt.Errorf("stats: sampling %s.%s: %w", t.Name, col.Name, err)
+			}
+			buckets := DefaultBuckets
+			h, err := BuildHistogram(vals, buckets)
+			if err != nil {
+				return nil, fmt.Errorf("stats: histogram for %s.%s: %w", t.Name, col.Name, err)
+			}
+			s.hists[t.Name+"."+col.Name] = h
+		}
+	}
+	return s, nil
+}
+
+// Histogram returns the histogram for table.column, or nil if absent.
+func (s *Store) Histogram(table, column string) *Histogram {
+	return s.hists[table+"."+column]
+}
+
+// SelectivityLE estimates the selectivity of the predicate column <= v.
+func (s *Store) SelectivityLE(table, column string, v float64) (float64, error) {
+	h := s.hists[table+"."+column]
+	if h == nil {
+		return 0, fmt.Errorf("stats: no histogram for %s.%s", table, column)
+	}
+	return h.SelectivityLE(v), nil
+}
+
+// SelectivityGE estimates the selectivity of the predicate column >= v.
+func (s *Store) SelectivityGE(table, column string, v float64) (float64, error) {
+	h := s.hists[table+"."+column]
+	if h == nil {
+		return 0, fmt.Errorf("stats: no histogram for %s.%s", table, column)
+	}
+	return h.SelectivityGE(v), nil
+}
+
+// ValueForSelectivityLE returns a parameter value v such that the predicate
+// column <= v has approximately the requested selectivity.
+func (s *Store) ValueForSelectivityLE(table, column string, sel float64) (float64, error) {
+	h := s.hists[table+"."+column]
+	if h == nil {
+		return 0, fmt.Errorf("stats: no histogram for %s.%s", table, column)
+	}
+	return h.ValueAtFraction(sel), nil
+}
+
+// ValueForSelectivityGE returns a parameter value v such that the predicate
+// column >= v has approximately the requested selectivity.
+func (s *Store) ValueForSelectivityGE(table, column string, sel float64) (float64, error) {
+	h := s.hists[table+"."+column]
+	if h == nil {
+		return 0, fmt.Errorf("stats: no histogram for %s.%s", table, column)
+	}
+	return h.ValueAtFraction(1 - sel), nil
+}

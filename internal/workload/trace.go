@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceJSON is the serialized form of a workload sequence: enough to replay
+// an experiment elsewhere (or diff two runs) without re-deriving ground
+// truth. The template itself is referenced by name; the consumer must bind
+// the same template/catalog (the seeds in this repository make that
+// deterministic).
+type traceJSON struct {
+	Template  string          `json:"template"`
+	Instances []instanceTrace `json:"instances"`
+}
+
+type instanceTrace struct {
+	SV      []float64 `json:"sv"`
+	OptCost float64   `json:"optCost,omitempty"`
+	OptFP   string    `json:"optFP,omitempty"`
+}
+
+// WriteTrace serializes a sequence to w as JSON.
+func WriteTrace(w io.Writer, seq *Sequence) error {
+	if seq == nil || len(seq.Instances) == 0 {
+		return fmt.Errorf("workload: cannot trace an empty sequence")
+	}
+	out := traceJSON{Template: seq.Name}
+	for _, q := range seq.Instances {
+		out.Instances = append(out.Instances, instanceTrace{SV: q.SV, OptCost: q.OptCost, OptFP: q.OptFP})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadTrace deserializes a sequence written by WriteTrace. The returned
+// sequence carries the recorded name; callers re-attach the template.
+func ReadTrace(r io.Reader) (*Sequence, error) {
+	var in traceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(in.Instances) == 0 {
+		return nil, fmt.Errorf("workload: trace has no instances")
+	}
+	seq := &Sequence{Name: in.Template}
+	d := len(in.Instances[0].SV)
+	if d == 0 {
+		return nil, fmt.Errorf("workload: trace instance 0 has empty sVector")
+	}
+	for i, q := range in.Instances {
+		if len(q.SV) != d {
+			return nil, fmt.Errorf("workload: trace instance %d has %d dims, expected %d", i, len(q.SV), d)
+		}
+		for j, s := range q.SV {
+			if s <= 0 || s > 1 {
+				return nil, fmt.Errorf("workload: trace instance %d dim %d selectivity %v out of (0,1]", i, j, s)
+			}
+		}
+		seq.Instances = append(seq.Instances, Instance{SV: q.SV, OptCost: q.OptCost, OptFP: q.OptFP})
+	}
+	return seq, nil
+}

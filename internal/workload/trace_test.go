@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	eng, tpl := testEngine(t)
+	insts, err := GenerateSet(2, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err = Prepare(eng, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := &Sequence{Name: tpl.Name + "/random", Tpl: tpl, Instances: insts}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != seq.Name {
+		t.Errorf("name = %q, want %q", back.Name, seq.Name)
+	}
+	if len(back.Instances) != len(seq.Instances) {
+		t.Fatalf("instances = %d, want %d", len(back.Instances), len(seq.Instances))
+	}
+	for i := range back.Instances {
+		a, b := back.Instances[i], seq.Instances[i]
+		if a.OptCost != b.OptCost || a.OptFP != b.OptFP {
+			t.Fatalf("instance %d ground truth mismatch", i)
+		}
+		for j := range a.SV {
+			if a.SV[j] != b.SV[j] {
+				t.Fatalf("instance %d sVector mismatch", i)
+			}
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if err := WriteTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil sequence should fail")
+	}
+	if err := WriteTrace(&bytes.Buffer{}, &Sequence{Name: "x"}); err == nil {
+		t.Error("empty sequence should fail")
+	}
+	cases := []struct {
+		name, data, want string
+	}{
+		{"garbage", "{", "reading trace"},
+		{"empty", `{"template":"t","instances":[]}`, "no instances"},
+		{"empty sv", `{"template":"t","instances":[{"sv":[]}]}`, "empty sVector"},
+		{"ragged", `{"template":"t","instances":[{"sv":[0.1,0.2]},{"sv":[0.1]}]}`, "dims"},
+		{"out of range", `{"template":"t","instances":[{"sv":[0.1,1.5]}]}`, "out of (0,1]"},
+		{"zero sel", `{"template":"t","instances":[{"sv":[0,0.5]}]}`, "out of (0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("ReadTrace(%q) succeeded, want error containing %q", tc.data, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
