@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,11 +74,11 @@ func main() {
 	fmt.Printf("template %s (d=%d): %s\n\n", entry.Tpl.Name, entry.Tpl.Dimensions(), entry.Tpl.SQL())
 	fmt.Printf("%-5s %-28s | %-18s | %-18s\n", "#", "sVector", scr.Name(), other.Name())
 	for i, q := range insts {
-		d1, err := scr.Process(q.SV)
+		d1, err := scr.Process(context.Background(), q.SV)
 		if err != nil {
 			fatal(err)
 		}
-		d2, err := other.Process(q.SV)
+		d2, err := other.Process(context.Background(), q.SV)
 		if err != nil {
 			fatal(err)
 		}

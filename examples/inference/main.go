@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -58,7 +59,7 @@ func main() {
 		{0.003, 0.5},
 	}
 	for _, sv := range anchors {
-		if _, err := scr.Process(sv); err != nil {
+		if _, err := scr.Process(context.Background(), sv); err != nil {
 			log.Fatal(err)
 		}
 	}

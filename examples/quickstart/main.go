@@ -1,55 +1,49 @@
-// Quickstart: the smallest end-to-end use of the library.
+// Quickstart: the smallest end-to-end use of the library, written against
+// the public pqo facade (the single import external consumers use).
 //
 // It builds a database system (catalog + statistics + optimizer), declares
-// a parameterized query template, wraps it in an engine, and processes a
-// stream of query instances through SCR with a λ=2 sub-optimality
-// guarantee — printing, for each instance, whether the plan came from the
-// cache (selectivity or cost check) or from a fresh optimizer call.
+// a parameterized query template from SQL, wraps it in an engine, and
+// processes a stream of query instances through SCR with a λ=2
+// sub-optimality guarantee — printing, for each instance, whether the plan
+// came from the cache (selectivity or cost check) or from a fresh
+// optimizer call.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/catalog"
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/query"
+	"repro/pqo"
 )
 
 func main() {
 	// 1. A database: TPC-H-shaped catalog at scale factor 0.1, with
 	//    histograms built from deterministic synthetic data.
-	sys, err := engine.NewSystem(catalog.NewTPCH(0.1), 1)
+	sys, err := pqo.NewSystem(pqo.TPCH(0.1), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 2. A parameterized query: lineitem ⋈ orders with two parameterized
-	//    range predicates (the paper's "dimensions").
-	tpl := &query.Template{
-		Name:    "quickstart",
-		Catalog: sys.Cat,
-		Tables:  []string{"lineitem", "orders"},
-		Joins: []query.Join{{
-			Left: "lineitem", Right: "orders",
-			LeftCol: "l_orderkey", RightCol: "o_orderkey",
-			Selectivity: 1.0 / 150_000,
-		}},
-		Preds: []query.Predicate{
-			{Table: "lineitem", Column: "l_shipdate", Op: query.LE, Param: 0},
-			{Table: "orders", Column: "o_totalprice", Op: query.GE, Param: 1},
-		},
+	//    range predicates (the paper's "dimensions", placeholders ?0, ?1).
+	tpl, err := pqo.ParseTemplate("quickstart", `
+		SELECT * FROM lineitem, orders
+		WHERE lineitem.l_orderkey = orders.o_orderkey
+		  AND lineitem.l_shipdate <= ?0
+		  AND orders.o_totalprice >= ?1`, sys.Cat)
+	if err != nil {
+		log.Fatal(err)
 	}
 	eng, err := sys.EngineFor(tpl)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. SCR with a guaranteed sub-optimality bound of 2.
-	scr, err := core.NewSCR(eng, core.Config{Lambda: 2})
+	// 3. SCR with a guaranteed cost sub-optimality bound of 2.
+	scr, err := pqo.New(eng, pqo.WithLambda(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,8 +63,9 @@ func main() {
 		{0.019, 0.78},
 		{0.0005, 0.001}, // a needle lookup
 	}
+	ctx := context.Background()
 	for i, sv := range instances {
-		dec, err := scr.Process(sv)
+		dec, err := scr.Process(ctx, sv)
 		if err != nil {
 			log.Fatal(err)
 		}

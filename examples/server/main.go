@@ -1,11 +1,9 @@
-// Server: an HTTP plan-cache service around SCR.
+// Server example: the HTTP plan-cache service from internal/server over
+// two demonstration templates on a TPC-DS-shaped system.
 //
-// The service owns one SCR plan cache per registered query template. A
-// client POSTs a query instance (template name + selectivity vector) to
-// /plan and receives the chosen plan, which check served it, and the
-// estimated cost; GET /stats reports the paper's three metrics live; POST
-// /snapshot persists every plan cache to disk via core's Export, and the
-// server restores them on startup — warm caches across restarts.
+// The heavy lifting — concurrent SCR caches, request timeouts, metrics,
+// snapshots, graceful shutdown — lives in internal/server; this binary
+// only wires templates and flags.
 //
 // Run with:  go run ./examples/server [-addr :8080] [-snapshot dir]
 // Then:
@@ -14,60 +12,66 @@
 //	curl -s -X POST localhost:8080/plan \
 //	     -d '{"template":"dashboard","sVector":[0.01,0.2]}'
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/snapshot
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
-	"path/filepath"
-	"sort"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"repro/internal/catalog"
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/sqlparse"
+	"repro/internal/server"
+	"repro/pqo"
 )
-
-// service maps template names to their engine + SCR cache.
-type service struct {
-	templates map[string]*entry
-	snapshot  string
-}
-
-type entry struct {
-	eng *engine.TemplateEngine
-	scr *core.SCR
-	sql string
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	snapshot := flag.String("snapshot", "", "directory for plan-cache snapshots (empty = disabled)")
 	lambda := flag.Float64("lambda", 2, "sub-optimality bound λ")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	flag.Parse()
 
-	svc, err := newService(*lambda, *snapshot)
+	srv, err := newServer(*lambda, *snapshot, *timeout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/templates", svc.handleTemplates)
-	mux.HandleFunc("/plan", svc.handlePlan)
-	mux.HandleFunc("/stats", svc.handleStats)
-	mux.HandleFunc("/snapshot", svc.handleSnapshot)
-	log.Printf("plan-cache service on %s (λ=%g, %d templates)", *addr, *lambda, len(svc.templates))
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	// ListenAndServe returns as soon as Shutdown has drained the
+	// listeners — before Shutdown has written snapshots — so main must
+	// wait for the shutdown goroutine, not just for Serve to return.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("plan-cache service on %s (λ=%g)", *addr, *lambda)
+	if err := srv.ListenAndServe(*addr); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
 }
 
-// newService registers two demonstration templates over a TPC-DS-like
-// system, restoring snapshots when present.
-func newService(lambda float64, snapshot string) (*service, error) {
-	sys, err := engine.NewSystem(catalog.NewTPCDS(0.1), 21)
+// newServer registers two demonstration templates over a TPC-DS-like
+// system; internal/server restores snapshots when present.
+func newServer(lambda float64, snapshot string, timeout time.Duration) (*server.Server, error) {
+	sys, err := pqo.NewSystem(pqo.TPCDS(0.1), 21)
 	if err != nil {
 		return nil, err
 	}
@@ -83,9 +87,13 @@ func newService(lambda float64, snapshot string) (*service, error) {
 		                 AND store_sales.ss_quantity >= ?1
 		                 AND store_sales.ss_net_profit >= ?2`,
 	}
-	svc := &service{templates: make(map[string]*entry), snapshot: snapshot}
+	srv := server.New(server.Config{
+		RequestTimeout: timeout,
+		SnapshotDir:    snapshot,
+		Logger:         log.Default(),
+	})
 	for name, sql := range defs {
-		tpl, err := sqlparse.Parse(name, sql, sys.Cat)
+		tpl, err := pqo.ParseTemplate(name, sql, sys.Cat)
 		if err != nil {
 			return nil, fmt.Errorf("template %s: %w", name, err)
 		}
@@ -93,146 +101,13 @@ func newService(lambda float64, snapshot string) (*service, error) {
 		if err != nil {
 			return nil, err
 		}
-		scr, err := core.NewSCR(eng, core.Config{Lambda: lambda, DetectViolations: true})
+		scr, err := pqo.New(eng, pqo.WithLambda(lambda), pqo.WithViolationDetection(0.01))
 		if err != nil {
 			return nil, err
 		}
-		e := &entry{eng: eng, scr: scr, sql: tpl.SQL()}
-		if snapshot != "" {
-			if data, err := os.ReadFile(filepath.Join(snapshot, name+".json")); err == nil {
-				if err := scr.Import(data); err != nil {
-					log.Printf("snapshot for %s ignored: %v", name, err)
-				} else {
-					log.Printf("restored plan cache for %s (%d plans)", name, scr.Stats().CurPlans)
-				}
-			}
+		if err := srv.Register(name, tpl.SQL(), eng, scr); err != nil {
+			return nil, err
 		}
-		svc.templates[name] = e
 	}
-	return svc, nil
-}
-
-type planRequest struct {
-	Template string    `json:"template"`
-	SVector  []float64 `json:"sVector"`
-}
-
-type planResponse struct {
-	Via           string  `json:"via"`
-	Optimized     bool    `json:"optimized"`
-	EstimatedCost float64 `json:"estimatedCost"`
-	Plan          string  `json:"plan"`
-	Fingerprint   string  `json:"fingerprint"`
-}
-
-func (s *service) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req planRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	e, ok := s.templates[req.Template]
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown template %q", req.Template), http.StatusNotFound)
-		return
-	}
-	dec, err := e.scr.Process(req.SVector)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	cost, err := e.eng.Recost(dec.Plan, req.SVector)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, planResponse{
-		Via:           dec.Via.String(),
-		Optimized:     dec.Optimized,
-		EstimatedCost: cost,
-		Plan:          dec.Plan.Plan.String(),
-		Fingerprint:   dec.Plan.Fingerprint(),
-	})
-}
-
-func (s *service) handleTemplates(w http.ResponseWriter, _ *http.Request) {
-	type tplInfo struct {
-		Name string `json:"name"`
-		SQL  string `json:"sql"`
-		D    int    `json:"dimensions"`
-	}
-	var out []tplInfo
-	for name, e := range s.templates {
-		out = append(out, tplInfo{Name: name, SQL: e.sql, D: e.eng.Dimensions()})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	writeJSON(w, out)
-}
-
-func (s *service) handleStats(w http.ResponseWriter, _ *http.Request) {
-	type row struct {
-		Template    string  `json:"template"`
-		Instances   int64   `json:"instances"`
-		NumOpt      int64   `json:"numOpt"`
-		OptPct      float64 `json:"optPct"`
-		Plans       int     `json:"plans"`
-		MemoryBytes int64   `json:"memoryBytes"`
-		Recosts     int64   `json:"getPlanRecosts"`
-		Violations  int64   `json:"bcgViolations"`
-	}
-	var out []row
-	for name, e := range s.templates {
-		st := e.scr.Stats()
-		pct := 0.0
-		if st.Instances > 0 {
-			pct = float64(st.OptCalls) / float64(st.Instances) * 100
-		}
-		out = append(out, row{
-			Template: name, Instances: st.Instances, NumOpt: st.OptCalls,
-			OptPct: pct, Plans: st.CurPlans, MemoryBytes: st.MemoryBytes,
-			Recosts: st.GetPlanRecosts, Violations: st.Violations,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Template < out[j].Template })
-	writeJSON(w, out)
-}
-
-func (s *service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	if s.snapshot == "" {
-		http.Error(w, "snapshots disabled (start with -snapshot dir)", http.StatusConflict)
-		return
-	}
-	if err := os.MkdirAll(s.snapshot, 0o755); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	saved := 0
-	for name, e := range s.templates {
-		data, err := e.scr.Export()
-		if err != nil {
-			http.Error(w, fmt.Sprintf("exporting %s: %v", name, err), http.StatusInternalServerError)
-			return
-		}
-		if err := os.WriteFile(filepath.Join(s.snapshot, name+".json"), data, 0o644); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		saved++
-	}
-	writeJSON(w, map[string]int{"snapshots": saved})
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
+	return srv, nil
 }

@@ -10,6 +10,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,8 +34,11 @@ func (o *OptAlways) Name() string { return "OptAlways" }
 func (o *OptAlways) Stats() core.Stats { return o.stats }
 
 // Process implements core.Technique.
-func (o *OptAlways) Process(sv []float64) (*core.Decision, error) {
+func (o *OptAlways) Process(ctx context.Context, sv []float64) (*core.Decision, error) {
 	o.stats.Instances++
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrCancelled, err)
+	}
 	cp, _, err := o.eng.Optimize(sv)
 	if err != nil {
 		return nil, err
@@ -62,10 +66,13 @@ func (o *OptOnce) Name() string { return "OptOnce" }
 func (o *OptOnce) Stats() core.Stats { return o.stats }
 
 // Process implements core.Technique.
-func (o *OptOnce) Process(sv []float64) (*core.Decision, error) {
+func (o *OptOnce) Process(ctx context.Context, sv []float64) (*core.Decision, error) {
 	o.stats.Instances++
 	if o.plan != nil {
 		return &core.Decision{Plan: o.plan, Via: core.ViaInference}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrCancelled, err)
 	}
 	cp, _, err := o.eng.Optimize(sv)
 	if err != nil {
@@ -112,7 +119,7 @@ func (p *PCM) Stats() core.Stats {
 }
 
 // Process implements core.Technique.
-func (p *PCM) Process(sv []float64) (*core.Decision, error) {
+func (p *PCM) Process(ctx context.Context, sv []float64) (*core.Decision, error) {
 	p.stats.Instances++
 	// Find a bounding pair qa ≤ sv ≤ qb with cost(qb) ≤ λ·cost(qa). A pair
 	// exists iff the cheapest dominating instance is within λ of the most
@@ -134,6 +141,9 @@ func (p *PCM) Process(sv []float64) (*core.Decision, error) {
 	if bestBelow != nil && bestAbove != nil && bestAbove.optCost <= p.lambda*bestBelow.optCost {
 		bestAbove.uses++
 		return &core.Decision{Plan: bestAbove.cp, Via: core.ViaInference}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrCancelled, err)
 	}
 	cp, c, err := p.eng.Optimize(sv)
 	if err != nil {
@@ -192,7 +202,7 @@ func (e *Ellipse) Stats() core.Stats {
 }
 
 // Process implements core.Technique.
-func (e *Ellipse) Process(sv []float64) (*core.Decision, error) {
+func (e *Ellipse) Process(ctx context.Context, sv []float64) (*core.Decision, error) {
 	e.stats.Instances++
 	for _, fp := range e.st.planOrder {
 		insts := e.st.byPlan[fp]
@@ -210,6 +220,9 @@ func (e *Ellipse) Process(sv []float64) (*core.Decision, error) {
 				}
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrCancelled, err)
 	}
 	cp, c, err := e.eng.Optimize(sv)
 	if err != nil {
@@ -274,7 +287,7 @@ func (d *Density) Stats() core.Stats {
 }
 
 // Process implements core.Technique.
-func (d *Density) Process(sv []float64) (*core.Decision, error) {
+func (d *Density) Process(ctx context.Context, sv []float64) (*core.Decision, error) {
 	d.stats.Instances++
 	counts := make(map[string]int)
 	reps := make(map[string]*storedInstance)
@@ -301,6 +314,9 @@ func (d *Density) Process(sv []float64) (*core.Decision, error) {
 			reps[bestFP].uses++
 			return &core.Decision{Plan: reps[bestFP].cp, Via: core.ViaInference}, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrCancelled, err)
 	}
 	cp, c, err := d.eng.Optimize(sv)
 	if err != nil {
@@ -350,7 +366,7 @@ func (r *Ranges) Stats() core.Stats {
 }
 
 // Process implements core.Technique.
-func (r *Ranges) Process(sv []float64) (*core.Decision, error) {
+func (r *Ranges) Process(ctx context.Context, sv []float64) (*core.Decision, error) {
 	r.stats.Instances++
 	for _, fp := range r.st.planOrder {
 		r.stats.SelChecks++
@@ -374,6 +390,9 @@ func (r *Ranges) Process(sv []float64) (*core.Decision, error) {
 			insts[0].uses++
 			return &core.Decision{Plan: insts[0].cp, Via: core.ViaInference}, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrCancelled, err)
 	}
 	cp, c, err := r.eng.Optimize(sv)
 	if err != nil {

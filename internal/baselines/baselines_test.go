@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,9 +27,9 @@ func cornerEngine(t *testing.T) *pqotest.Engine {
 
 func process(t *testing.T, tech core.Technique, sv []float64) *core.Decision {
 	t.Helper()
-	dec, err := tech.Process(sv)
+	dec, err := tech.Process(context.Background(), sv)
 	if err != nil {
-		t.Fatalf("%s.Process(%v): %v", tech.Name(), sv, err)
+		t.Fatalf("%s.Process(context.Background(), %v): %v", tech.Name(), sv, err)
 	}
 	if dec.Plan == nil {
 		t.Fatalf("%s returned nil plan", tech.Name())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -130,7 +131,7 @@ func TestScanOrderReducesScanLength(t *testing.T) {
 		// Phase 1: diverse cold traffic populates the instance list with
 		// many entries that arrive BEFORE the hot cluster's entry.
 		for i := 0; i < 120; i++ {
-			if _, err := s.Process(pqotest.RandomSVector(seqRng, 2)); err != nil {
+			if _, err := s.Process(context.Background(), pqotest.RandomSVector(seqRng, 2)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -143,7 +144,7 @@ func TestScanOrderReducesScanLength(t *testing.T) {
 				math.Min(1, hot[0]*(0.98+0.04*seqRng.Float64())),
 				math.Min(1, hot[1]*(0.98+0.04*seqRng.Float64())),
 			}
-			if _, err := s.Process(sv); err != nil {
+			if _, err := s.Process(context.Background(), sv); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -190,7 +191,7 @@ func TestScanOrderPreservesGuarantee(t *testing.T) {
 		}
 		for i := 0; i < 300; i++ {
 			sv := pqotest.RandomSVector(rng, 3)
-			dec, err := s.Process(sv)
+			dec, err := s.Process(context.Background(), sv)
 			if err != nil {
 				t.Fatal(err)
 			}

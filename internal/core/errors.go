@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors returned by the technique API. Callers match them with
+// errors.Is; every error carrying one of these sentinels wraps it, so
+// additional context (the offending value, the underlying context error)
+// stays visible in the message.
+var (
+	// ErrNoPlan reports that a plan was required but none is available —
+	// e.g. seeding or serving with a nil plan.
+	ErrNoPlan = errors.New("pqo: no plan available")
+	// ErrBudgetExhausted reports that an operation would exceed the
+	// configured plan budget k (§6.3.1).
+	ErrBudgetExhausted = errors.New("pqo: plan budget exhausted")
+	// ErrCancelled reports that processing stopped because the caller's
+	// context was cancelled or its deadline expired. The wrapped chain also
+	// matches context.Canceled / context.DeadlineExceeded.
+	ErrCancelled = errors.New("pqo: cancelled")
+	// ErrInvalidConfig reports a rejected configuration option.
+	ErrInvalidConfig = errors.New("pqo: invalid configuration")
+)

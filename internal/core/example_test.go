@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -27,7 +28,7 @@ func Example() {
 		{0.011, 0.009}, // near the first: selectivity check
 		{0.9, 0.9},     // different region: optimizer
 	} {
-		dec, err := scr.Process(sv)
+		dec, err := scr.Process(context.Background(), sv)
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent optimizer calls for byte-identical
+// selectivity vectors (a minimal singleflight, keyed by svKey). The first
+// caller for a key becomes the leader and runs fn to completion; callers
+// arriving while the flight is open wait for the leader's result instead of
+// paying their own optimizer call. Waiters abandon the wait when their
+// context is cancelled — the leader is never interrupted, so the cache is
+// still populated for future instances.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	dec  *Decision
+	err  error
+}
+
+// Do runs fn once per concurrent burst of callers with the same key. The
+// second return value reports whether the result was shared from another
+// caller's flight rather than produced by this one.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Decision, error)) (*Decision, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.dec, true, c.err
+		case <-ctx.Done():
+			return nil, true, cancelled(ctx.Err())
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.dec, c.err = fn()
+
+	// Remove the flight before signalling completion: a caller that misses
+	// the flight entirely re-checks the cache (which the leader has already
+	// populated) before opening a new one, so the burst still performs
+	// exactly one optimizer call.
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.dec, false, c.err
+}
+
+// svKey encodes a selectivity vector into a byte-exact map key.
+func svKey(sv []float64) string {
+	b := make([]byte, 8*len(sv))
+	for i, v := range sv {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// cancelled wraps a context error so it matches both ErrCancelled and the
+// original context sentinel.
+func cancelled(err error) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, err)
+}

@@ -39,8 +39,8 @@ type instanceJSON struct {
 // state — selectivity vectors, optimal costs, sub-optimality factors and
 // quarantine flags — round-trips exactly.
 func (s *SCR) Export() ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := cacheJSON{}
 	for _, fp := range s.sortedPlanFPs() {
 		raw, err := json.Marshal(s.plans[fp].cp.Plan)
@@ -51,7 +51,8 @@ func (s *SCR) Export() ([]byte, error) {
 	}
 	for _, e := range s.instances {
 		out.Instances = append(out.Instances, instanceJSON{
-			V: e.v, PlanFP: e.pp.fp, C: e.c, S: e.s, U: e.u, Quarantined: e.quarantined,
+			V: e.v, PlanFP: e.pp.fp, C: e.c, S: e.s,
+			U: e.u.Load(), Quarantined: e.quarantined.Load(),
 		})
 	}
 	return json.Marshal(out)
@@ -75,7 +76,7 @@ func (s *SCR) Import(data []byte) error {
 	if !ok {
 		return fmt.Errorf("core: engine %T cannot rehydrate plans", s.eng)
 	}
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	if len(s.plans) != 0 || len(s.instances) != 0 {
 		return fmt.Errorf("core: import into non-empty plan cache")
@@ -98,7 +99,7 @@ func (s *SCR) Import(data []byte) error {
 		byFP[pe.fp] = pe
 	}
 	if s.cfg.PlanBudget > 0 && len(byFP) > s.cfg.PlanBudget {
-		return fmt.Errorf("core: import has %d plans, budget is %d", len(byFP), s.cfg.PlanBudget)
+		return fmt.Errorf("%w: import has %d plans, budget is %d", ErrBudgetExhausted, len(byFP), s.cfg.PlanBudget)
 	}
 	var insts []*instanceEntry
 	for i, ij := range in.Instances {
@@ -113,18 +114,19 @@ func (s *SCR) Import(data []byte) error {
 		if ij.C <= 0 || ij.S < 1 {
 			return fmt.Errorf("core: import instance %d has invalid C=%v S=%v", i, ij.C, ij.S)
 		}
-		insts = append(insts, &instanceEntry{
-			v: ij.V, pp: pe, c: ij.C, s: ij.S, u: ij.U, quarantined: ij.Quarantined,
-		})
+		e := newInstance(ij.V, pe, ij.C, ij.S, ij.U)
+		e.quarantined.Store(ij.Quarantined)
+		insts = append(insts, e)
 	}
 	s.plans = make(map[string]*planEntry, len(byFP))
 	for fp, pe := range byFP {
 		s.plans[fp] = pe
 	}
 	s.instances = insts
-	if len(s.plans) > s.stats.MaxPlans {
-		s.stats.MaxPlans = len(s.plans)
+	if len(s.plans) > s.maxPlans {
+		s.maxPlans = len(s.plans)
 	}
+	s.version.Add(1)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range insts {
-		if _, err := s1.Process(q.SV); err != nil {
+		if _, err := s1.Process(context.Background(), q.SV); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	optBefore := s2.Stats().OptCalls
 	for _, q := range insts {
-		dec, err := s2.Process(q.SV)
+		dec, err := s2.Process(context.Background(), q.SV)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestImportValidation(t *testing.T) {
 		t.Error("dangling plan reference should fail")
 	}
 	// Import into a non-empty cache must be rejected.
-	if _, err := s.Process([]float64{0.1, 0.1}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.1, 0.1}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := s.Export()
@@ -127,7 +128,7 @@ func TestImportValidation(t *testing.T) {
 	}
 	// Build a 2-plan cache to violate the k=1 budget.
 	for _, sv := range [][]float64{{1e-4, 1e-4}, {0.9, 0.9}, {1e-4, 0.9}, {0.9, 1e-4}} {
-		if _, err := s3.Process(sv); err != nil {
+		if _, err := s3.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -172,7 +173,7 @@ func TestImportedGuaranteeStillHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range warm {
-		if _, err := s1.Process(q.SV); err != nil {
+		if _, err := s1.Process(context.Background(), q.SV); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -192,7 +193,7 @@ func TestImportedGuaranteeStillHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, q := range fresh {
-		dec, err := s2.Process(q.SV)
+		dec, err := s2.Process(context.Background(), q.SV)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func TestInspectSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range insts {
-		if _, err := s.Process(q.SV); err != nil {
+		if _, err := s.Process(context.Background(), q.SV); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -47,20 +47,27 @@ func regionWeight(sv []float64) float64 {
 }
 
 // resortInstances re-orders the instance list per the configured scan
-// order. Called by getPlan every resortEvery insertions; sorting is O(n log
-// n) off the hot path and keeps the scan prefix effective as the cache
-// evolves.
+// order. Called (under the write lock) every resortEvery lookups; sorting
+// is O(n log n) off the hot path and keeps the scan prefix effective as
+// the cache evolves. It sorts a copy and swaps the slice: lock-free
+// readers may still be scanning the current backing array.
 func (s *SCR) resortInstances() {
+	if s.cfg.Scan == ScanInsertion {
+		return
+	}
+	insts := make([]*instanceEntry, len(s.instances))
+	copy(insts, s.instances)
 	switch s.cfg.Scan {
 	case ScanByArea:
-		sort.SliceStable(s.instances, func(i, j int) bool {
-			return regionWeight(s.instances[i].v) > regionWeight(s.instances[j].v)
+		sort.SliceStable(insts, func(i, j int) bool {
+			return regionWeight(insts[i].v) > regionWeight(insts[j].v)
 		})
 	case ScanByUsage:
-		sort.SliceStable(s.instances, func(i, j int) bool {
-			return s.instances[i].u > s.instances[j].u
+		sort.SliceStable(insts, func(i, j int) bool {
+			return insts[i].u.Load() > insts[j].u.Load()
 		})
 	}
+	s.instances = insts
 }
 
 // resortEvery is the number of instance-list insertions between re-sorts.

@@ -1,15 +1,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 )
 
 // Config parameterizes SCR.
+//
+// Deprecated: Config retains its original zero-value-magic semantics
+// (LambdaR 0 → √λ, CostCheckLimit 0 → 8, ViolationTolerance 0 → 1%) for
+// callers of NewSCR. New code should build SCRs with New and functional
+// options (WithLambda, WithPlanBudget, WithDynamicLambda, ...), which
+// validate every value explicitly.
 type Config struct {
 	// Lambda is the cost sub-optimality bound λ ≥ 1 every processed
 	// instance must satisfy (SO(q) ≤ λ).
@@ -96,17 +105,17 @@ func (c0 *Config) costCheckLimit() int {
 
 func (c0 *Config) validate() error {
 	if c0.Lambda < 1 {
-		return fmt.Errorf("core: lambda %v must be >= 1", c0.Lambda)
+		return optErr("lambda %v must be >= 1", c0.Lambda)
 	}
 	if c0.LambdaR != 0 && (c0.LambdaR < 1 || c0.LambdaR > c0.Lambda) {
-		return fmt.Errorf("core: lambdaR %v must lie in [1, lambda]", c0.LambdaR)
+		return optErr("lambdaR %v must lie in [1, lambda]", c0.LambdaR)
 	}
 	if c0.PlanBudget < 0 {
-		return fmt.Errorf("core: plan budget %v must be >= 0", c0.PlanBudget)
+		return optErr("plan budget %v must be >= 0", c0.PlanBudget)
 	}
 	if d := c0.Dynamic; d != nil {
 		if d.Min < 1 || d.Max < d.Min {
-			return fmt.Errorf("core: dynamic lambda range [%v,%v] invalid", d.Min, d.Max)
+			return optErr("dynamic lambda range [%v,%v] invalid", d.Min, d.Max)
 		}
 	}
 	return nil
@@ -119,32 +128,79 @@ type planEntry struct {
 }
 
 // instanceEntry is the 5-tuple I = <V, PP, C, S, U> of §6.1, plus the
-// Appendix G quarantine flag.
+// Appendix G quarantine flag. The immutable fields (v, pp, c, s) are set at
+// insertion under the write lock; the mutable fields (u, quarantined) are
+// atomics so the read path can update them under the shared read lock.
 type instanceEntry struct {
-	v  []float64  // V: selectivity vector of the optimized instance
-	pp *planEntry // PP: plan assigned to this instance
-	c  float64    // C: optimizer-estimated optimal cost at V
-	s  float64    // S: sub-optimality of PP at V
-	u  int64      // U: usage count (instances served through this entry)
+	v  []float64    // V: selectivity vector of the optimized instance
+	pp *planEntry   // PP: plan assigned to this instance
+	c  float64      // C: optimizer-estimated optimal cost at V
+	s  float64      // S: sub-optimality of PP at V
+	u  atomic.Int64 // U: usage count (instances served through this entry)
 	// quarantined excludes the entry from cost-check reuse after a BCG
 	// violation was observed through it (Appendix G).
-	quarantined bool
+	quarantined atomic.Bool
+}
+
+func newInstance(v []float64, pp *planEntry, c, s float64, u int64) *instanceEntry {
+	e := &instanceEntry{v: v, pp: pp, c: c, s: s}
+	e.u.Store(u)
+	return e
+}
+
+// counters are SCR's cumulative statistics, all atomics so the read path
+// (selectivity + cost checks under RLock) never needs exclusive access.
+type counters struct {
+	instances       atomic.Int64
+	optCalls        atomic.Int64
+	sharedOptCalls  atomic.Int64
+	getPlanRecosts  atomic.Int64
+	manageRecosts   atomic.Int64
+	selChecks       atomic.Int64
+	violations      atomic.Int64
+	evictions       atomic.Int64
+	redundantPlans  atomic.Int64
+	readPathHits    atomic.Int64
+	writePathHits   atomic.Int64
+	readLockWaitNs  atomic.Int64
+	writeLockWaitNs atomic.Int64
 }
 
 // SCR is the paper's technique: an online PQO plan cache driven by the
 // selectivity, cost and redundancy checks.
+//
+// Concurrency model (read-mostly serving): the plan list and instance list
+// are guarded by an RWMutex. Process's hot path — the selectivity check,
+// the cost check — and ProbeCheck run under the shared read lock, so any
+// number of cache hits proceed in parallel; only cache management
+// (inserting plans and instances, eviction, sweep, import) takes the write
+// lock. Concurrent misses for byte-identical selectivity vectors share one
+// optimizer call through a singleflight group, and every miss re-checks the
+// cache once more before optimizing, so a burst of identical cold instances
+// performs exactly one optimizer call.
 type SCR struct {
 	cfg Config
 	eng Engine
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	plans     map[string]*planEntry
 	instances []*instanceEntry
-	lookups   int64
-	stats     Stats
+	maxPlans  int
+
+	flight  flightGroup
+	lookups atomic.Int64
+	// version counts cache mutations (plan/instance insertions, evictions,
+	// sweeps, imports). The miss path re-runs the checks only when the
+	// version moved past its read-path observation, so a serial miss pays
+	// the checks exactly once.
+	version atomic.Int64
+	ctr     counters
 }
 
 // NewSCR returns an SCR technique over eng with the given configuration.
+//
+// Deprecated: use New with functional options; NewSCR remains for one
+// release for callers holding a Config.
 func NewSCR(eng Engine, cfg Config) (*SCR, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -162,10 +218,25 @@ func (s *SCR) Name() string {
 
 // Stats returns cumulative counters.
 func (s *SCR) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.CurPlans = len(s.plans)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Instances:              s.ctr.instances.Load(),
+		OptCalls:               s.ctr.optCalls.Load(),
+		SharedOptCalls:         s.ctr.sharedOptCalls.Load(),
+		GetPlanRecosts:         s.ctr.getPlanRecosts.Load(),
+		ManageRecosts:          s.ctr.manageRecosts.Load(),
+		SelChecks:              s.ctr.selChecks.Load(),
+		Violations:             s.ctr.violations.Load(),
+		Evictions:              s.ctr.evictions.Load(),
+		RedundantPlansRejected: s.ctr.redundantPlans.Load(),
+		ReadPathHits:           s.ctr.readPathHits.Load(),
+		WritePathHits:          s.ctr.writePathHits.Load(),
+		ReadLockWait:           time.Duration(s.ctr.readLockWaitNs.Load()),
+		WriteLockWait:          time.Duration(s.ctr.writeLockWaitNs.Load()),
+		CurPlans:               len(s.plans),
+		MaxPlans:               s.maxPlans,
+	}
 	var mem int64
 	for _, pe := range s.plans {
 		mem += int64(pe.cp.MemoryBytes())
@@ -175,73 +246,196 @@ func (s *SCR) Stats() Stats {
 	return st
 }
 
-// Process implements Technique: getPlan, then manageCache on a miss.
-func (s *SCR) Process(sv []float64) (*Decision, error) {
+// rlock acquires the read lock, charging the wait to the read-path
+// lock-wait counter.
+func (s *SCR) rlock() {
+	start := time.Now()
+	s.mu.RLock()
+	s.ctr.readLockWaitNs.Add(time.Since(start).Nanoseconds())
+}
+
+// lock acquires the write lock, charging the wait to the write-path
+// lock-wait counter.
+func (s *SCR) lock() {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Instances++
+	s.ctr.writeLockWaitNs.Add(time.Since(start).Nanoseconds())
+}
 
-	if dec, err := s.getPlan(sv); dec != nil || err != nil {
-		return dec, err
+// Process implements Technique: getPlan under the read lock, then — on a
+// miss — one (possibly shared) optimizer call and manageCache under the
+// write lock. Cancelling ctx aborts before the optimizer call and while
+// waiting on another caller's shared flight; an optimizer call already in
+// progress runs to completion so its plan still populates the cache.
+func (s *SCR) Process(ctx context.Context, sv []float64) (*Decision, error) {
+	s.ctr.instances.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, cancelled(err)
 	}
+	s.maybeResort()
 
-	// Both checks failed: full optimizer call.
-	cp, optCost, err := s.eng.Optimize(sv)
+	dec, seen, err := s.readPath(ctx, sv)
 	if err != nil {
 		return nil, err
 	}
-	s.stats.OptCalls++
-	if err := s.manageCache(sv, cp, optCost); err != nil {
+	if dec != nil {
+		s.ctr.readPathHits.Add(1)
+		return dec, nil
+	}
+
+	// Both checks failed: full optimizer call, deduplicated across
+	// concurrent identical instances.
+	dec, shared, err := s.flight.Do(ctx, svKey(sv), func() (*Decision, error) {
+		// Second chance: an overlapping flight may have populated the
+		// cache between our read-path miss and winning the flight. Only
+		// re-run the checks if the cache actually changed since.
+		if s.version.Load() != seen {
+			dec, _, err := s.readPath(ctx, sv)
+			if err != nil {
+				return nil, err
+			}
+			if dec != nil {
+				s.ctr.writePathHits.Add(1)
+				return dec, nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, cancelled(err)
+		}
+		cp, optCost, err := s.eng.Optimize(sv)
+		if err != nil {
+			return nil, err
+		}
+		if cp == nil {
+			return nil, fmt.Errorf("%w: optimizer returned no plan", ErrNoPlan)
+		}
+		s.ctr.optCalls.Add(1)
+		s.lock()
+		defer s.mu.Unlock()
+		if err := s.manageCache(sv, cp, optCost); err != nil {
+			return nil, err
+		}
+		return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
+	if shared {
+		s.ctr.sharedOptCalls.Add(1)
+		d := *dec
+		d.Optimized = false
+		d.Shared = true
+		return &d, nil
+	}
+	return dec, nil
+}
+
+// maybeResort refreshes the instance-list ordering per the configured scan
+// order (§6.2) on a lookup cadence: usage counts and region areas evolve
+// with traffic, so the ordering is refreshed periodically rather than only
+// on insertion.
+func (s *SCR) maybeResort() {
+	if s.cfg.Scan == ScanInsertion {
+		return
+	}
+	if s.lookups.Add(1)%resortEvery != 0 {
+		return
+	}
+	s.lock()
+	s.resortInstances()
+	s.mu.Unlock()
+}
+
+// readPath runs getPlan under the shared read lock, returning the cache
+// version observed (stable while the read lock is held — mutations require
+// the write lock).
+func (s *SCR) readPath(ctx context.Context, sv []float64) (*Decision, int64, error) {
+	// The read lock is held only long enough to capture a consistent
+	// (instance list, version) snapshot; the O(instances) scan itself runs
+	// lock-free. Holding the read lock across the scan would let a single
+	// waiting writer convoy every other reader behind it (Go's RWMutex
+	// blocks new readers once a writer is queued). The snapshot stays
+	// valid because entries are immutable after insertion apart from
+	// their atomic fields, and every mutation that reorders or removes
+	// entries replaces the slice instead of editing it in place.
+	s.rlock()
+	insts := s.instances
+	ver := s.version.Load()
+	s.mu.RUnlock()
+	dec, err := s.getPlan(ctx, sv, insts)
+	return dec, ver, err
 }
 
 // getPlan is Algorithm 1: the selectivity check over the instance list,
 // then the cost check over the most promising candidates in increasing GL
 // order. Returns (nil, nil) if no cached plan can be inferred λ-optimal.
-func (s *SCR) getPlan(sv []float64) (*Decision, error) {
-	// Periodic re-sort per the configured scan order (§6.2): usage counts
-	// and region areas evolve with traffic, so the ordering is refreshed
-	// on a lookup cadence rather than only on insertion.
-	s.lookups++
-	if s.cfg.Scan != ScanInsertion && s.lookups%resortEvery == 0 {
-		s.resortInstances()
-	}
+// Runs lock-free over an immutable snapshot of the instance list; it
+// mutates only atomic fields.
+func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry) (*Decision, error) {
 	type cand struct {
 		e  *instanceEntry
 		gl float64
 		l  float64
 	}
-	cands := make([]cand, 0, len(s.instances))
+	limit := s.cfg.costCheckLimit()
+	// Only the `limit` best candidates are ever recosted, so keep a
+	// bounded insertion-sorted list instead of collecting and sorting
+	// every entry: on the hot path this is the difference between O(limit)
+	// extra memory and an O(instances) allocation + sort per lookup.
+	keep := limit
+	if keep < 0 {
+		keep = 0
+	}
+	// A limit larger than the instance list (e.g. the "recost all"
+	// ablation's 1<<30) must not become the allocation size.
+	capHint := keep
+	if capHint > len(insts) {
+		capHint = len(insts)
+	}
+	cands := make([]cand, 0, capHint)
+	key := func(c cand) float64 { return c.gl }
+	if s.cfg.OrderCandidatesByL {
+		key = func(c cand) float64 { return c.l }
+	}
+	insert := func(c cand) {
+		if keep == 0 {
+			return
+		}
+		if len(cands) == keep {
+			if key(c) >= key(cands[len(cands)-1]) {
+				return
+			}
+			cands = cands[:len(cands)-1]
+		}
+		i := len(cands)
+		for i > 0 && key(c) < key(cands[i-1]) {
+			i--
+		}
+		cands = append(cands, cand{})
+		copy(cands[i+1:], cands[i:])
+		cands[i] = c
+	}
 
-	for _, e := range s.instances {
-		s.stats.SelChecks++
+	examined := 0
+	defer func() { s.ctr.selChecks.Add(int64(examined)) }()
+	for _, e := range insts {
+		examined++
 		g, l, err := GLFactors(e.v, sv)
 		if err != nil {
 			return nil, err
 		}
 		lam := s.cfg.lambdaFor(e.c)
 		if g*l <= lam/e.s {
-			e.u++
+			e.u.Add(1)
 			return &Decision{Plan: e.pp.cp, Via: ViaSelectivity}, nil
 		}
-		if !e.quarantined {
-			cands = append(cands, cand{e: e, gl: g * l, l: l})
+		if !e.quarantined.Load() {
+			insert(cand{e: e, gl: g * l, l: l})
 		}
 	}
 
-	limit := s.cfg.costCheckLimit()
 	if limit < 0 {
 		return nil, nil
-	}
-	if s.cfg.OrderCandidatesByL {
-		sort.Slice(cands, func(i, j int) bool { return cands[i].l < cands[j].l })
-	} else {
-		sort.Slice(cands, func(i, j int) bool { return cands[i].gl < cands[j].gl })
-	}
-	if len(cands) > limit {
-		cands = cands[:limit]
 	}
 	tol := s.cfg.ViolationTolerance
 	if tol <= 0 {
@@ -251,11 +445,14 @@ func (s *SCR) getPlan(sv []float64) (*Decision, error) {
 		if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, cancelled(err)
+		}
 		newCost, err := s.eng.Recost(c.e.pp.cp, sv)
 		if err != nil {
 			return nil, err
 		}
-		s.stats.GetPlanRecosts++
+		s.ctr.getPlanRecosts.Add(1)
 		if s.cfg.DetectViolations {
 			// Appendix G: the BCG bounds constrain the plan's own cost
 			// ratio between qe and qc; Cost(PP, qe) = C·S.
@@ -265,8 +462,8 @@ func (s *SCR) getPlan(sv []float64) (*Decision, error) {
 				return nil, err
 			}
 			if ViolatesBCG(rPlan, g, l, tol) {
-				c.e.quarantined = true
-				s.stats.Violations++
+				c.e.quarantined.Store(true)
+				s.ctr.violations.Add(1)
 				continue
 			}
 		}
@@ -275,21 +472,23 @@ func (s *SCR) getPlan(sv []float64) (*Decision, error) {
 		r := newCost / c.e.c
 		lam := s.cfg.lambdaFor(c.e.c)
 		if r*c.l <= lam/c.e.s {
-			c.e.u++
+			c.e.u.Add(1)
 			return &Decision{Plan: c.e.pp.cp, Via: ViaCost}, nil
 		}
 	}
 	return nil, nil
 }
 
-// addInstance appends an instance entry.
+// addInstance appends an instance entry. Caller holds the write lock.
 func (s *SCR) addInstance(e *instanceEntry) {
 	s.instances = append(s.instances, e)
 }
 
 // manageCache is Algorithm 2: record the optimized instance, running the
 // redundancy check for genuinely new plans and enforcing the plan budget.
+// Caller holds the write lock.
 func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) error {
+	defer s.version.Add(1)
 	v := make([]float64, len(sv))
 	copy(v, sv)
 	fp := cp.Fingerprint()
@@ -297,7 +496,7 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) 
 	if pe, ok := s.plans[fp]; ok {
 		// Plan already cached: extend its inference region with this
 		// instance.
-		s.addInstance(&instanceEntry{v: v, pp: pe, c: optCost, s: 1, u: 1})
+		s.addInstance(newInstance(v, pe, optCost, 1, 1))
 		return nil
 	}
 
@@ -311,8 +510,8 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) 
 		if sMin <= s.cfg.lambdaR() {
 			// Redundant: discard the new plan, bind the instance to the
 			// cheapest existing plan with its sub-optimality.
-			s.stats.RedundantPlansRejected++
-			s.addInstance(&instanceEntry{v: v, pp: minPE, c: optCost, s: sMin, u: 1})
+			s.ctr.redundantPlans.Add(1)
+			s.addInstance(newInstance(v, minPE, optCost, sMin, 1))
 			return nil
 		}
 	}
@@ -322,9 +521,9 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) 
 	}
 	pe := &planEntry{cp: cp, fp: fp}
 	s.plans[fp] = pe
-	s.addInstance(&instanceEntry{v: v, pp: pe, c: optCost, s: 1, u: 1})
-	if len(s.plans) > s.stats.MaxPlans {
-		s.stats.MaxPlans = len(s.plans)
+	s.addInstance(newInstance(v, pe, optCost, 1, 1))
+	if len(s.plans) > s.maxPlans {
+		s.maxPlans = len(s.plans)
 	}
 	return nil
 }
@@ -344,7 +543,7 @@ func (s *SCR) minCostPlan(sv []float64) (*planEntry, float64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		s.stats.ManageRecosts++
+		s.ctr.manageRecosts.Add(1)
 		if c < bestCost {
 			best, bestCost = pe, c
 		}
@@ -354,11 +553,11 @@ func (s *SCR) minCostPlan(sv []float64) (*planEntry, float64, error) {
 
 // evictLFU drops the plan with the lowest aggregate usage count and removes
 // every instance entry pointing to it, preserving the λ-optimality
-// guarantee (§6.3.1).
+// guarantee (§6.3.1). Caller holds the write lock.
 func (s *SCR) evictLFU() {
 	usage := make(map[*planEntry]int64, len(s.plans))
 	for _, e := range s.instances {
-		usage[e.pp] += e.u
+		usage[e.pp] += e.u.Load()
 	}
 	var (
 		victim    *planEntry
@@ -374,14 +573,16 @@ func (s *SCR) evictLFU() {
 		return
 	}
 	delete(s.plans, victim.fp)
-	kept := s.instances[:0]
+	// Copy-out rather than filter in place: lock-free readers may still be
+	// scanning the current backing array.
+	kept := make([]*instanceEntry, 0, len(s.instances))
 	for _, e := range s.instances {
 		if e.pp != victim {
 			kept = append(kept, e)
 		}
 	}
 	s.instances = kept
-	s.stats.Evictions++
+	s.ctr.evictions.Add(1)
 }
 
 // ProbeCheck classifies how getPlan would serve an instance at sv — by the
@@ -389,17 +590,20 @@ func (s *SCR) evictLFU() {
 // mutating usage counters, quarantine flags or statistics. It is a
 // diagnostic/visualization aid (e.g. rendering the §5.3 inference-region
 // geometry) and performs Recost calls against the engine like the real
-// cost check would.
+// cost check would. Like Process's read path it scans a lock-free
+// snapshot of the instance list and is safe to call concurrently with
+// Process.
 func (s *SCR) ProbeCheck(sv []float64) Check {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	insts := s.instances
+	s.mu.RUnlock()
 	type cand struct {
 		e  *instanceEntry
 		gl float64
 		l  float64
 	}
 	var cands []cand
-	for _, e := range s.instances {
+	for _, e := range insts {
 		g, l, err := GLFactors(e.v, sv)
 		if err != nil {
 			return ViaOptimizer
@@ -407,7 +611,7 @@ func (s *SCR) ProbeCheck(sv []float64) Check {
 		if g*l <= s.cfg.lambdaFor(e.c)/e.s {
 			return ViaSelectivity
 		}
-		if !e.quarantined {
+		if !e.quarantined.Load() {
 			cands = append(cands, cand{e: e, gl: g * l, l: l})
 		}
 	}
@@ -441,8 +645,8 @@ func (s *SCR) ProbeCheck(sv []float64) Check {
 // NumInstances returns the current instance-list length (optimized
 // instances retained).
 func (s *SCR) NumInstances() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.instances)
 }
 
@@ -450,9 +654,10 @@ func (s *SCR) NumInstances() int {
 // redundancy against the remaining plans and drops those whose instances
 // can all be served λ-optimally by alternatives. Plans are examined in
 // increasing order of instance count. It returns the number of plans
-// dropped. The sweep is intended to run off the critical path.
+// dropped. The sweep is intended to run off the critical path; it holds the
+// write lock for its duration.
 func (s *SCR) SweepRedundantPlans() (int, error) {
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 
 	dropped := 0
@@ -486,13 +691,15 @@ func (s *SCR) SweepRedundantPlans() (int, error) {
 				continue
 			}
 			delete(s.plans, pe.fp)
-			kept := s.instances[:0]
+			// Copy-out: lock-free readers may hold the current array.
+			kept := make([]*instanceEntry, 0, len(s.instances))
 			for _, e := range s.instances {
 				if e.pp != pe {
 					kept = append(kept, e)
 				}
 			}
 			s.instances = append(kept, rebound...)
+			s.version.Add(1)
 			dropped++
 			removedOne = true
 			break // re-derive counts after each removal
@@ -525,7 +732,7 @@ func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 			if err != nil {
 				return false, nil, err
 			}
-			s.stats.ManageRecosts++
+			s.ctr.manageRecosts.Add(1)
 			if c < altCost {
 				alt, altCost = other, c
 			}
@@ -537,7 +744,7 @@ func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 		if sAlt > s.cfg.lambdaFor(e.c) {
 			return false, nil, nil
 		}
-		rebound = append(rebound, &instanceEntry{v: e.v, pp: alt, c: e.c, s: sAlt, u: e.u})
+		rebound = append(rebound, newInstance(e.v, alt, e.c, sAlt, e.u.Load()))
 	}
 	return true, rebound, nil
 }
@@ -556,7 +763,7 @@ func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 // a true upper bound on the plan's sub-optimality at the anchor.
 func (s *SCR) SeedInstance(sv []float64, cp *engine.CachedPlan, optCost, subOpt float64) error {
 	if cp == nil {
-		return fmt.Errorf("core: seed with nil plan")
+		return fmt.Errorf("%w: seed with nil plan", ErrNoPlan)
 	}
 	if len(sv) != s.eng.Dimensions() {
 		return fmt.Errorf("core: seed sVector has %d dims, engine has %d", len(sv), s.eng.Dimensions())
@@ -564,22 +771,23 @@ func (s *SCR) SeedInstance(sv []float64, cp *engine.CachedPlan, optCost, subOpt 
 	if optCost <= 0 || subOpt < 1 || math.IsNaN(optCost) || math.IsNaN(subOpt) {
 		return fmt.Errorf("core: seed with invalid optCost=%v subOpt=%v", optCost, subOpt)
 	}
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	fp := cp.Fingerprint()
 	pe, ok := s.plans[fp]
 	if !ok {
 		if s.cfg.PlanBudget > 0 && len(s.plans) >= s.cfg.PlanBudget {
-			return fmt.Errorf("core: seeding would exceed the plan budget %d", s.cfg.PlanBudget)
+			return fmt.Errorf("%w: seeding would exceed the plan budget %d", ErrBudgetExhausted, s.cfg.PlanBudget)
 		}
 		pe = &planEntry{cp: cp, fp: fp}
 		s.plans[fp] = pe
-		if len(s.plans) > s.stats.MaxPlans {
-			s.stats.MaxPlans = len(s.plans)
+		if len(s.plans) > s.maxPlans {
+			s.maxPlans = len(s.plans)
 		}
 	}
 	v := make([]float64, len(sv))
 	copy(v, sv)
-	s.addInstance(&instanceEntry{v: v, pp: pe, c: optCost, s: subOpt, u: 0})
+	s.addInstance(newInstance(v, pe, optCost, subOpt, 0))
+	s.version.Add(1)
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -56,7 +57,7 @@ func TestConfigValidation(t *testing.T) {
 func TestFirstInstanceOptimizes(t *testing.T) {
 	eng := twoPlaneEngine(t)
 	s := mustSCR(t, eng, Config{Lambda: 2})
-	dec, err := s.Process([]float64{0.01, 0.01})
+	dec, err := s.Process(context.Background(), []float64{0.01, 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,12 +73,12 @@ func TestFirstInstanceOptimizes(t *testing.T) {
 func TestSelectivityCheckReuse(t *testing.T) {
 	eng := twoPlaneEngine(t)
 	s := mustSCR(t, eng, Config{Lambda: 2})
-	if _, err := s.Process([]float64{0.01, 0.01}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.01, 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	// A nearly identical instance has G·L ≈ 1 ≤ λ: must pass the
 	// selectivity check without an optimizer call or a recost.
-	dec, err := s.Process([]float64{0.0101, 0.0099})
+	dec, err := s.Process(context.Background(), []float64{0.0101, 0.0099})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestCostCheckReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := mustSCR(t, eng, Config{Lambda: 1.5})
-	if _, err := s.Process([]float64{0.9, 0.9}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.9, 0.9}); err != nil {
 		t.Fatal(err)
 	}
 	// qc = (0.9, 0.001): L = 900, G = 1 → G·L = 900 >> λ: selectivity
@@ -113,7 +114,7 @@ func TestCostCheckReuse(t *testing.T) {
 	// below 100 (both plans have Const ≥ 100)... Actually the check is
 	// R·L ≤ λ/S which is also huge. The cost check bound uses L on the
 	// denominator, so this reuse legitimately fails and SCR must optimize.
-	dec, err := s.Process([]float64{0.9, 0.001})
+	dec, err := s.Process(context.Background(), []float64{0.9, 0.001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +125,10 @@ func TestCostCheckReuse(t *testing.T) {
 	// L = 1. Selectivity check: G·L = G may exceed λ, but R = actual
 	// growth is tiny because Const dominates → cost check passes.
 	s2 := mustSCR(t, eng, Config{Lambda: 1.5})
-	if _, err := s2.Process([]float64{0.9, 0.001}); err != nil {
+	if _, err := s2.Process(context.Background(), []float64{0.9, 0.001}); err != nil {
 		t.Fatal(err)
 	}
-	dec2, err := s2.Process([]float64{0.9, 0.9})
+	dec2, err := s2.Process(context.Background(), []float64{0.9, 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestGuaranteeProperty(t *testing.T) {
 			s := mustSCR(t, eng, Config{Lambda: lambda})
 			for i := 0; i < 300; i++ {
 				sv := pqotest.RandomSVector(rng, d)
-				dec, err := s.Process(sv)
+				dec, err := s.Process(context.Background(), sv)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -177,7 +178,7 @@ func TestGuaranteeHoldsUnderPlanBudget(t *testing.T) {
 	s := mustSCR(t, eng, Config{Lambda: 2, PlanBudget: 2})
 	for i := 0; i < 400; i++ {
 		sv := pqotest.RandomSVector(rng, 3)
-		dec, err := s.Process(sv)
+		dec, err := s.Process(context.Background(), sv)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,10 +215,10 @@ func TestRedundancyCheckReducesPlans(t *testing.T) {
 		svs[i] = pqotest.RandomSVector(seqRng, 3)
 	}
 	for _, sv := range svs {
-		if _, err := withRC.Process(sv); err != nil {
+		if _, err := withRC.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := storeAll.Process(sv); err != nil {
+		if _, err := storeAll.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -245,7 +246,7 @@ func TestCostCheckLimitBoundsRecosts(t *testing.T) {
 	var prev int64
 	for i := 0; i < 200; i++ {
 		sv := pqotest.RandomSVector(rng, 3)
-		if _, err := s.Process(sv); err != nil {
+		if _, err := s.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
 		st := s.Stats()
@@ -262,10 +263,10 @@ func TestCostCheckLimitBoundsRecosts(t *testing.T) {
 func TestCostCheckDisabled(t *testing.T) {
 	eng := twoPlaneEngine(t)
 	s := mustSCR(t, eng, Config{Lambda: 2, CostCheckLimit: -1})
-	if _, err := s.Process([]float64{0.5, 0.5}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.5, 0.5}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Process([]float64{0.001, 0.001}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.001, 0.001}); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.GetPlanRecosts != 0 {
@@ -301,10 +302,10 @@ func TestDynamicLambdaLoosensCheapInstances(t *testing.T) {
 	seq := rand.New(rand.NewSource(31))
 	for i := 0; i < 400; i++ {
 		sv := pqotest.RandomSVector(seq, 3)
-		if _, err := dyn.Process(sv); err != nil {
+		if _, err := dyn.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := stat.Process(sv); err != nil {
+		if _, err := stat.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -329,11 +330,11 @@ func TestViolationDetectionQuarantines(t *testing.T) {
 	// λ tight enough that G·L = 1.5 fails the selectivity check and the
 	// instance reaches the cost check, where the jump is observable.
 	s := mustSCR(t, eng, Config{Lambda: 1.2, DetectViolations: true})
-	if _, err := s.Process([]float64{0.4, 0.4}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.4, 0.4}); err != nil {
 		t.Fatal(err)
 	}
 	// Crossing the jump: the recost ratio exceeds G → quarantine.
-	if _, err := s.Process([]float64{0.6, 0.4}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.6, 0.4}); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Violations == 0 {
@@ -351,7 +352,7 @@ func TestSweepRedundantPlans(t *testing.T) {
 	// then find some to drop.
 	s := mustSCR(t, eng, Config{Lambda: 2, StoreAlways: true})
 	for i := 0; i < 300; i++ {
-		if _, err := s.Process(pqotest.RandomSVector(rng, 3)); err != nil {
+		if _, err := s.Process(context.Background(), pqotest.RandomSVector(rng, 3)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -367,7 +368,7 @@ func TestSweepRedundantPlans(t *testing.T) {
 	// The guarantee must survive the sweep.
 	for i := 0; i < 200; i++ {
 		sv := pqotest.RandomSVector(rng, 3)
-		dec, err := s.Process(sv)
+		dec, err := s.Process(context.Background(), sv)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -395,7 +396,7 @@ func TestSCRSavesOptimizerCallsOnClusteredWorkload(t *testing.T) {
 			math.Min(1, c[0]*(0.95+0.1*rng.Float64())),
 			math.Min(1, c[1]*(0.95+0.1*rng.Float64())),
 		}
-		if _, err := s.Process(sv); err != nil {
+		if _, err := s.Process(context.Background(), sv); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -408,11 +409,11 @@ func TestSCRSavesOptimizerCallsOnClusteredWorkload(t *testing.T) {
 func TestNumInstancesTracksOptimizedOnly(t *testing.T) {
 	eng := twoPlaneEngine(t)
 	s := mustSCR(t, eng, Config{Lambda: 2})
-	if _, err := s.Process([]float64{0.01, 0.01}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.01, 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := s.Process([]float64{0.01, 0.01}); err != nil {
+		if _, err := s.Process(context.Background(), []float64{0.01, 0.01}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -424,10 +425,10 @@ func TestNumInstancesTracksOptimizedOnly(t *testing.T) {
 func TestStatsMemoryAccounting(t *testing.T) {
 	eng := twoPlaneEngine(t)
 	s := mustSCR(t, eng, Config{Lambda: 1, StoreAlways: true})
-	if _, err := s.Process([]float64{0.001, 0.9}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.001, 0.9}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Process([]float64{0.9, 0.001}); err != nil {
+	if _, err := s.Process(context.Background(), []float64{0.9, 0.001}); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -504,7 +505,7 @@ func TestSeededGuaranteeHolds(t *testing.T) {
 	}
 	for i := 0; i < 300; i++ {
 		sv := pqotest.RandomSVector(rng, 2)
-		dec, err := s.Process(sv)
+		dec, err := s.Process(context.Background(), sv)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -50,10 +52,14 @@ func (c Check) String() string {
 type Decision struct {
 	// Plan is the plan the technique selected for execution.
 	Plan *engine.CachedPlan
-	// Optimized reports whether a full optimizer call was made.
+	// Optimized reports whether this call paid a full optimizer call.
 	Optimized bool
 	// Via records which mechanism produced the plan.
 	Via Check
+	// Shared reports that the decision was produced by another in-flight
+	// call for the same instance (singleflight dedup): this caller paid
+	// neither an optimizer call nor a cache check.
+	Shared bool
 }
 
 // Stats are cumulative counters a technique reports. Counter semantics
@@ -63,6 +69,22 @@ type Stats struct {
 	Instances int64
 	// OptCalls is numOpt: full optimizer calls incurred.
 	OptCalls int64
+	// SharedOptCalls counts instances served by joining another caller's
+	// in-flight optimizer call (singleflight dedup) instead of paying
+	// their own.
+	SharedOptCalls int64
+	// ReadPathHits counts instances served by the lock-shared read path
+	// (selectivity or cost check under RLock); WritePathHits counts
+	// instances that missed the first read-path pass but were served by
+	// the second-chance check on the miss path, after another flight
+	// populated the cache.
+	ReadPathHits  int64
+	WritePathHits int64
+	// ReadLockWait / WriteLockWait accumulate time spent waiting to
+	// acquire the cache's read and write locks — contention indicators
+	// for concurrent serving.
+	ReadLockWait  time.Duration
+	WriteLockWait time.Duration
 	// GetPlanRecosts counts Recost invocations on the critical path
 	// (the cost check of getPlan).
 	GetPlanRecosts int64
@@ -93,7 +115,9 @@ type Technique interface {
 	// Name identifies the technique and its configuration, e.g. "SCR(2)".
 	Name() string
 	// Process decides a plan for the instance with selectivity vector sv.
-	Process(sv []float64) (*Decision, error)
+	// Cancelling ctx makes Process return an error wrapping ErrCancelled;
+	// techniques check it at least before starting an optimizer call.
+	Process(ctx context.Context, sv []float64) (*Decision, error)
 	// Stats returns cumulative counters.
 	Stats() Stats
 }

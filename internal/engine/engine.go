@@ -6,7 +6,7 @@ package engine
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -41,16 +41,18 @@ func (cp *CachedPlan) MemoryBytes() int {
 }
 
 // TemplateEngine binds an optimizer to one query template. All PQO
-// techniques for that template share one TemplateEngine.
+// techniques for that template share one TemplateEngine. It is safe for
+// concurrent use: Optimize and Recost touch only the immutable template
+// and optimizer plus atomic accounting, so any number of Recost calls (the
+// PQO cost checks' hot path) proceed in parallel.
 type TemplateEngine struct {
 	Tpl *query.Template
 	Opt *memo.Optimizer
 
-	mu          sync.Mutex
-	optTime     time.Duration
-	recostTime  time.Duration
-	optCalls    int64
-	recostCalls int64
+	optNanos    atomic.Int64
+	recostNanos atomic.Int64
+	optCalls    atomic.Int64
+	recostCalls atomic.Int64
 }
 
 // NewTemplateEngine builds an engine for tpl over an existing optimizer.
@@ -76,10 +78,8 @@ func (e *TemplateEngine) Optimize(sv []float64) (*CachedPlan, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	e.mu.Lock()
-	e.optTime += time.Since(start)
-	e.optCalls++
-	e.mu.Unlock()
+	e.optNanos.Add(time.Since(start).Nanoseconds())
+	e.optCalls.Add(1)
 	return &CachedPlan{Plan: p, SM: sm}, c, nil
 }
 
@@ -93,26 +93,24 @@ func (e *TemplateEngine) Recost(cp *CachedPlan, sv []float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	e.mu.Lock()
-	e.recostTime += time.Since(start)
-	e.recostCalls++
-	e.mu.Unlock()
+	e.recostNanos.Add(time.Since(start).Nanoseconds())
+	e.recostCalls.Add(1)
 	return c, nil
 }
 
 // Timing reports cumulative wall-clock accounting.
 func (e *TemplateEngine) Timing() (optTime, recostTime time.Duration, optCalls, recostCalls int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.optTime, e.recostTime, e.optCalls, e.recostCalls
+	return time.Duration(e.optNanos.Load()), time.Duration(e.recostNanos.Load()),
+		e.optCalls.Load(), e.recostCalls.Load()
 }
 
 // ResetTiming zeroes the wall-clock accounting (used between experiment
 // phases that share an engine).
 func (e *TemplateEngine) ResetTiming() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.optTime, e.recostTime, e.optCalls, e.recostCalls = 0, 0, 0, 0
+	e.optNanos.Store(0)
+	e.recostNanos.Store(0)
+	e.optCalls.Store(0)
+	e.recostCalls.Store(0)
 }
 
 // System bundles a catalog with its statistics and optimizer: the "database

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/baselines"
 	"repro/internal/core"
 )
@@ -77,7 +78,7 @@ func (r *Runner) Fig1() (*Fig1Result, error) {
 			return nil, err
 		}
 		for i, sv := range svs {
-			dec, err := tech.Process(sv)
+			dec, err := tech.Process(context.Background(), sv)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/baselines"
@@ -118,7 +119,7 @@ func (r *Runner) Tab3(m, maxRows int) ([]Tab3Row, error) {
 		optWall := time.Duration(0)
 		for _, q := range ordered {
 			t0 := time.Now()
-			dec, err := tech.Process(q.SV)
+			dec, err := tech.Process(context.Background(), q.SV)
 			if err != nil {
 				return nil, err
 			}

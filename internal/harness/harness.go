@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -59,6 +60,7 @@ type Options struct {
 // each chosen plan. Ground-truth optimal costs must be present on the
 // sequence (workload.Prepare).
 func Run(eng core.Engine, tech core.Technique, seq *workload.Sequence, opts Options) (*Result, error) {
+	ctx := context.Background()
 	if len(seq.Instances) == 0 {
 		return nil, fmt.Errorf("harness: empty sequence %s", seq.Name)
 	}
@@ -74,7 +76,7 @@ func Run(eng core.Engine, tech core.Technique, seq *workload.Sequence, opts Opti
 		if q.OptCost <= 0 {
 			return nil, fmt.Errorf("harness: sequence %s instance %d lacks ground truth", seq.Name, i)
 		}
-		dec, err := tech.Process(q.SV)
+		dec, err := tech.Process(ctx, q.SV)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s on %s instance %d: %w", tech.Name(), seq.Name, i, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/plan"
@@ -50,16 +51,23 @@ func (p *PlanSpec) Cost(sv []float64) float64 {
 }
 
 // Engine is a synthetic PQO engine over a fixed plan set. It implements
-// core.Engine.
+// core.Engine and is safe for concurrent use (the call counters are
+// atomic, matching the concurrency contract of engine.TemplateEngine).
 type Engine struct {
 	d     int
 	specs []PlanSpec
 	cps   []*engine.CachedPlan
 	byFP  map[string]int
 
-	OptimizeCalls int
-	RecostCalls   int
+	optimizeCalls atomic.Int64
+	recostCalls   atomic.Int64
 }
+
+// OptimizeCalls reports how many Optimize calls the engine served.
+func (e *Engine) OptimizeCalls() int64 { return e.optimizeCalls.Load() }
+
+// RecostCalls reports how many Recost calls the engine served.
+func (e *Engine) RecostCalls() int64 { return e.recostCalls.Load() }
 
 // NewEngine builds a synthetic engine with d dimensions over the given plan
 // specs.
@@ -90,7 +98,7 @@ func (e *Engine) Optimize(sv []float64) (*engine.CachedPlan, float64, error) {
 	if len(sv) != e.d {
 		return nil, 0, fmt.Errorf("pqotest: sVector length %d, want %d", len(sv), e.d)
 	}
-	e.OptimizeCalls++
+	e.optimizeCalls.Add(1)
 	best, bestCost := -1, math.Inf(1)
 	for i := range e.specs {
 		if c := e.specs[i].Cost(sv); c < bestCost {
@@ -106,7 +114,7 @@ func (e *Engine) Recost(cp *engine.CachedPlan, sv []float64) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("pqotest: unknown plan %q", cp.Fingerprint())
 	}
-	e.RecostCalls++
+	e.recostCalls.Add(1)
 	return e.specs[i].Cost(sv), nil
 }
 

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/pqo"
+)
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// counts observations with latency ≤ 1µs·2^i, so the range spans 1µs to
+// ~8.4s before the overflow bucket.
+const histBuckets = 24
+
+// latencyHist is a lock-free exponential-bucket latency histogram. All
+// fields are atomics: request handlers observe concurrently, /metrics
+// reads concurrently.
+type latencyHist struct {
+	counts   [histBuckets]atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	us := d.Microseconds()
+	for i := 0; i < histBuckets; i++ {
+		if us <= 1<<i {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.overflow.Add(1)
+}
+
+// bucketBound returns bucket i's upper bound in seconds.
+func bucketBound(i int) float64 { return float64(int64(1)<<i) / 1e6 }
+
+// writeProm writes the histogram in Prometheus text format (cumulative
+// buckets, _sum and _count series) under the given metric name and label
+// set.
+func (h *latencyHist) writeProm(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, bucketBound(i), cum)
+	}
+	cum += h.overflow.Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNanos.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+}
+
+// checkLabels are the decision provenances a /plan request can resolve
+// through, in the order their histograms are kept per template entry.
+var checkLabels = [...]string{"optimizer", "selectivity-check", "cost-check", "shared"}
+
+const (
+	histOptimizer = iota
+	histSelectivity
+	histCost
+	histShared
+)
+
+// writeMetrics renders every registered template's counters and latency
+// histograms in Prometheus text exposition format.
+func (s *Server) writeMetrics(w io.Writer) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# HELP pqo_instances_total Query instances processed per template.")
+	fmt.Fprintln(w, "# TYPE pqo_instances_total counter")
+	for _, name := range names {
+		e := s.entry(name)
+		st := e.scr.Stats()
+		fmt.Fprintf(w, "pqo_instances_total{template=%q} %d\n", name, st.Instances)
+	}
+
+	type scalar struct {
+		metric, help string
+		value        func(st statsSnapshot) string
+	}
+	scalars := []scalar{
+		{"pqo_opt_calls_total", "Full optimizer calls (numOpt).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.OptCalls) }},
+		{"pqo_shared_opt_calls_total", "Instances served by joining another caller's in-flight optimizer call.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.SharedOptCalls) }},
+		{"pqo_read_path_hits_total", "Cache hits served under the shared read lock.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.ReadPathHits) }},
+		{"pqo_write_path_hits_total", "Cache hits served by the second-chance check on the miss path.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.WritePathHits) }},
+		{"pqo_getplan_recosts_total", "Recost calls on the critical path (cost check).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.GetPlanRecosts) }},
+		{"pqo_plans", "Plans currently cached.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.CurPlans) }},
+		{"pqo_plan_cache_bytes", "Estimated plan-cache memory.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.MemoryBytes) }},
+		{"pqo_bcg_violations_total", "BCG violations detected (Appendix G).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.Violations) }},
+		{"pqo_evictions_total", "Plans evicted to enforce the plan budget.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.Evictions) }},
+		{"pqo_read_lock_wait_seconds_total", "Cumulative time waiting for the cache read lock.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.ReadLockWait.Seconds()) }},
+		{"pqo_write_lock_wait_seconds_total", "Cumulative time waiting for the cache write lock.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.WriteLockWait.Seconds()) }},
+	}
+	for _, sc := range scalars {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", sc.metric, sc.help, sc.metric, promType(sc.metric))
+		for _, name := range names {
+			e := s.entry(name)
+			st := e.scr.Stats()
+			fmt.Fprintf(w, "%s{template=%q} %s\n", sc.metric, name, sc.value(st))
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP pqo_check_latency_seconds End-to-end /plan decision latency by serving mechanism.")
+	fmt.Fprintln(w, "# TYPE pqo_check_latency_seconds histogram")
+	for _, name := range names {
+		e := s.entry(name)
+		for i := range e.hist {
+			labels := fmt.Sprintf("template=%q,via=%q", name, checkLabels[i])
+			e.hist[i].writeProm(w, "pqo_check_latency_seconds", labels)
+		}
+	}
+}
+
+// statsSnapshot is the Stats type rendered by /metrics; aliased to keep
+// the scalar table readable.
+type statsSnapshot = pqo.Stats
+
+func promType(metric string) string {
+	if len(metric) > 6 && metric[len(metric)-6:] == "_total" {
+		return "counter"
+	}
+	return "gauge"
+}

@@ -1,0 +1,401 @@
+// Package server is the HTTP plan-cache service around SCR: a production
+// front-end for the paper's online PQO technique.
+//
+// A Server owns one SCR plan cache per registered query template and
+// serves mixed read-mostly traffic concurrently — cache hits resolve
+// under SCR's shared read lock, and concurrent identical misses share a
+// single optimizer call. Endpoints:
+//
+//	POST /plan      {template, sVector} → plan decision + estimated cost
+//	GET  /templates registered templates with SQL and dimensionality
+//	GET  /stats     the paper's metrics per template (JSON)
+//	GET  /metrics   Prometheus text format: counters + latency histograms
+//	POST /snapshot  persist every plan cache via Export
+//	GET  /healthz   liveness
+//
+// The server dogfoods the public pqo facade: apart from this package's
+// own plumbing it depends only on repro/pqo.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pqo"
+)
+
+// Config tunes a Server. The zero value is usable: a 5s request timeout,
+// snapshots disabled, logging discarded.
+type Config struct {
+	// RequestTimeout bounds each /plan request, including any optimizer
+	// call it triggers. Process observes cancellation via context; an
+	// expired request returns 504 with an ErrCancelled-wrapped error.
+	// Zero means DefaultRequestTimeout; negative disables the timeout.
+	RequestTimeout time.Duration
+	// SnapshotDir, when non-empty, enables plan-cache persistence:
+	// Register restores <dir>/<template>.json when present, POST
+	// /snapshot and Shutdown write them back.
+	SnapshotDir string
+	// Logger receives operational messages; nil discards them.
+	Logger *log.Logger
+}
+
+// DefaultRequestTimeout bounds /plan requests when Config.RequestTimeout
+// is zero.
+const DefaultRequestTimeout = 5 * time.Second
+
+// Server is an HTTP front-end over per-template SCR plan caches. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+	httpSrv *http.Server
+}
+
+// entry binds one registered template to its engine, plan cache and
+// latency histograms (indexed by histOptimizer..histShared).
+type entry struct {
+	name string
+	sql  string
+	eng  pqo.Engine
+	scr  *pqo.SCR
+	hist [len(checkLabels)]latencyHist
+}
+
+// New returns an empty Server; add templates with Register.
+func New(cfg Config) *Server {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	return &Server{cfg: cfg, entries: make(map[string]*entry)}
+}
+
+// Register adds a template under name, backed by eng and the given SCR
+// cache. sql is informational (shown by /templates; empty is fine for
+// synthetic engines). If Config.SnapshotDir holds a snapshot for name it
+// is restored into scr — a corrupt or incompatible snapshot is logged
+// and ignored, never fatal.
+func (s *Server) Register(name, sql string, eng pqo.Engine, scr *pqo.SCR) error {
+	if name == "" {
+		return errors.New("server: empty template name")
+	}
+	if eng == nil || scr == nil {
+		return fmt.Errorf("server: template %q needs an engine and an SCR", name)
+	}
+	e := &entry{name: name, sql: sql, eng: eng, scr: scr}
+	if s.cfg.SnapshotDir != "" {
+		if data, err := os.ReadFile(s.snapshotPath(name)); err == nil {
+			if err := scr.Import(data); err != nil {
+				s.logf("snapshot for %s ignored: %v", name, err)
+			} else {
+				s.logf("restored plan cache for %s (%d plans)", name, scr.Stats().CurPlans)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[name]; dup {
+		return fmt.Errorf("server: template %q already registered", name)
+	}
+	s.entries[name] = e
+	return nil
+}
+
+func (s *Server) entry(name string) *entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entries[name]
+}
+
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name+".json")
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Handler returns the server's route table; usable directly with
+// httptest or any http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/templates", s.handleTemplates)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	if s.httpSrv != nil {
+		s.mu.Unlock()
+		return errors.New("server: already serving")
+	}
+	s.httpSrv = srv
+	s.mu.Unlock()
+	return srv.Serve(ln)
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: it drains in-flight requests
+// (bounded by ctx) and then persists every plan cache when snapshots are
+// enabled, so restarts resume with warm caches.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.mu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	_, err := s.SaveSnapshots()
+	return err
+}
+
+// SaveSnapshots exports every registered plan cache to
+// Config.SnapshotDir and returns how many were written.
+func (s *Server) SaveSnapshots() (int, error) {
+	if s.cfg.SnapshotDir == "" {
+		return 0, errors.New("server: snapshots disabled (no SnapshotDir)")
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	saved := 0
+	for _, e := range entries {
+		data, err := e.scr.Export()
+		if err != nil {
+			return saved, fmt.Errorf("server: exporting %s: %w", e.name, err)
+		}
+		if err := os.WriteFile(s.snapshotPath(e.name), data, 0o644); err != nil {
+			return saved, err
+		}
+		saved++
+	}
+	return saved, nil
+}
+
+// PlanRequest is the body of POST /plan.
+type PlanRequest struct {
+	Template string    `json:"template"`
+	SVector  []float64 `json:"sVector"`
+}
+
+// PlanResponse is the body of a successful POST /plan.
+type PlanResponse struct {
+	Via           string  `json:"via"`
+	Optimized     bool    `json:"optimized"`
+	Shared        bool    `json:"shared,omitempty"`
+	EstimatedCost float64 `json:"estimatedCost"`
+	Plan          string  `json:"plan"`
+	Fingerprint   string  `json:"fingerprint"`
+	LatencyMicros int64   `json:"latencyMicros"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e := s.entry(req.Template)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown template %q", req.Template), http.StatusNotFound)
+		return
+	}
+	if len(req.SVector) != e.eng.Dimensions() {
+		http.Error(w, fmt.Sprintf("template %q takes %d selectivities, got %d",
+			req.Template, e.eng.Dimensions(), len(req.SVector)), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	dec, err := e.scr.Process(ctx, req.SVector)
+	if err != nil {
+		if errors.Is(err, pqo.ErrCancelled) {
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	cost, err := e.eng.Recost(dec.Plan, req.SVector)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	latency := time.Since(start)
+	e.hist[histIndex(dec)].observe(latency)
+
+	writeJSON(w, PlanResponse{
+		Via:           dec.Via.String(),
+		Optimized:     dec.Optimized,
+		Shared:        dec.Shared,
+		EstimatedCost: cost,
+		Plan:          dec.Plan.Plan.String(),
+		Fingerprint:   dec.Plan.Fingerprint(),
+		LatencyMicros: latency.Microseconds(),
+	})
+}
+
+// histIndex maps a decision to its latency histogram: shared optimizer
+// results are tracked separately from the check that produced them.
+func histIndex(dec *pqo.Decision) int {
+	if dec.Shared {
+		return histShared
+	}
+	switch dec.Via {
+	case pqo.ViaSelectivity:
+		return histSelectivity
+	case pqo.ViaCost:
+		return histCost
+	default:
+		return histOptimizer
+	}
+}
+
+// TemplateInfo is one row of GET /templates.
+type TemplateInfo struct {
+	Name       string `json:"name"`
+	SQL        string `json:"sql,omitempty"`
+	Dimensions int    `json:"dimensions"`
+}
+
+func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make([]TemplateInfo, 0, len(s.entries))
+	for name, e := range s.entries {
+		out = append(out, TemplateInfo{Name: name, SQL: e.sql, Dimensions: e.eng.Dimensions()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, out)
+}
+
+// StatsRow is one row of GET /stats: the paper's metrics plus the
+// concurrency counters for one template.
+type StatsRow struct {
+	Template       string  `json:"template"`
+	Instances      int64   `json:"instances"`
+	NumOpt         int64   `json:"numOpt"`
+	OptPct         float64 `json:"optPct"`
+	SharedOptCalls int64   `json:"sharedOptCalls"`
+	ReadPathHits   int64   `json:"readPathHits"`
+	WritePathHits  int64   `json:"writePathHits"`
+	Plans          int     `json:"plans"`
+	MemoryBytes    int64   `json:"memoryBytes"`
+	Recosts        int64   `json:"getPlanRecosts"`
+	Violations     int64   `json:"bcgViolations"`
+	ReadLockWaitUS int64   `json:"readLockWaitMicros"`
+	WriteLockWaitUS int64  `json:"writeLockWaitMicros"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	out := make([]StatsRow, 0, len(entries))
+	for _, e := range entries {
+		st := e.scr.Stats()
+		pct := 0.0
+		if st.Instances > 0 {
+			pct = float64(st.OptCalls) / float64(st.Instances) * 100
+		}
+		out = append(out, StatsRow{
+			Template: e.name, Instances: st.Instances, NumOpt: st.OptCalls,
+			OptPct: pct, SharedOptCalls: st.SharedOptCalls,
+			ReadPathHits: st.ReadPathHits, WritePathHits: st.WritePathHits,
+			Plans: st.CurPlans, MemoryBytes: st.MemoryBytes,
+			Recosts: st.GetPlanRecosts, Violations: st.Violations,
+			ReadLockWaitUS:  st.ReadLockWait.Microseconds(),
+			WriteLockWaitUS: st.WriteLockWait.Microseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Template < out[j].Template })
+	writeJSON(w, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.writeMetrics(w)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	saved, err := s.SaveSnapshots()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if s.cfg.SnapshotDir == "" {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, map[string]int{"snapshots": saved})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The connection is gone; nothing better to do than drop it.
+		_ = err
+	}
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 verification: vet, build, run the full test suite, and re-run the
+# concurrency-sensitive packages under the race detector. The experiment
+# reproduction tests are minutes-long already and ~10x slower under -race
+# (they exceed go test's per-package timeout on small machines), so the
+# race pass targets the packages with concurrent hot paths.
+#
+#   ./scripts/check.sh          # vet + build + tests + targeted race pass
+#   ./scripts/check.sh -bench   # additionally run the parallel benchmarks
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core/ ./internal/server/ ./internal/engine/ \
+    ./internal/baselines/ ./internal/harness/ ./internal/memo/
+
+if [ "${1:-}" = "-bench" ]; then
+    go test ./internal/core/ -run '^$' -bench BenchmarkProcessParallel -cpu 8
+    go test ./internal/server/ -run '^$' -bench BenchmarkServerParallel -cpu 8
+fi
+
+echo "check.sh: all green"
