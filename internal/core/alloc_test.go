@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pqotest"
+)
+
+// TestProcessHitPathAllocBudget pins the allocation budget of the serving
+// hot path: Process on a warm cache served by the selectivity check. The
+// budget covers the Decision value; the candidate list is allocated lazily
+// and never materializes on a selectivity-check hit.
+func TestProcessHitPathAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	rng := rand.New(rand.NewSource(3))
+	eng, err := pqotest.RandomEngine(rng, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := core.New(eng, core.WithLambda(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sv := pqotest.RandomSVector(rng, 4)
+	if _, err := scr.Process(ctx, sv); err != nil { // cold miss populates the cache
+		t.Fatal(err)
+	}
+	dec, err := scr.Process(ctx, sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Via != core.ViaSelectivity {
+		t.Fatalf("identical repeat served via %s, want selectivity-check", dec.Via)
+	}
+
+	const budget = 2
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := scr.Process(ctx, sv); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("Process hit path allocates %.1f per run, budget %d", allocs, budget)
+	}
+}

@@ -237,6 +237,10 @@ func (s *SCR) Stats() Stats {
 		CurPlans:               len(s.plans),
 		MaxPlans:               s.maxPlans,
 	}
+	if rep, ok := s.eng.(CacheReporter); ok {
+		st.RecostCacheHits, st.RecostCacheMisses = rep.RecostCacheCounters()
+		st.EnvPoolGets, st.EnvPoolReuses = rep.EnvPoolCounters()
+	}
 	var mem int64
 	for _, pe := range s.plans {
 		mem += int64(pe.cp.MemoryBytes())
@@ -244,6 +248,27 @@ func (s *SCR) Stats() Stats {
 	mem += int64(len(s.instances)) * 100 // ~100 bytes per 5-tuple (§6.1)
 	st.MemoryBytes = mem
 	return st
+}
+
+// prepareRecost returns a batched recosting context for sv when the engine
+// supports batching, else nil. A nil context is valid: recostWith falls
+// back to per-call Engine.Recost.
+func (s *SCR) prepareRecost(sv []float64) *engine.PreparedInstance {
+	if be, ok := s.eng.(BatchEngine); ok {
+		if pi, err := be.PrepareRecost(sv); err == nil {
+			return pi
+		}
+	}
+	return nil
+}
+
+// recostWith recosts cp at sv through the prepared instance when one is
+// available (batched path: selectivity state built once per instance).
+func (s *SCR) recostWith(pi *engine.PreparedInstance, cp *engine.CachedPlan, sv []float64) (float64, error) {
+	if pi != nil {
+		return pi.Recost(cp)
+	}
+	return s.eng.Recost(cp, sv)
 }
 
 // rlock acquires the read lock, charging the wait to the read-path
@@ -392,7 +417,9 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 	if capHint > len(insts) {
 		capHint = len(insts)
 	}
-	cands := make([]cand, 0, capHint)
+	// cands is allocated lazily on first insert: a selectivity-check hit —
+	// the overwhelmingly common outcome on a warm cache — pays nothing.
+	var cands []cand
 	key := func(c cand) float64 { return c.gl }
 	if s.cfg.OrderCandidatesByL {
 		key = func(c cand) float64 { return c.l }
@@ -400,6 +427,9 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 	insert := func(c cand) {
 		if keep == 0 {
 			return
+		}
+		if cands == nil {
+			cands = make([]cand, 0, capHint)
 		}
 		if len(cands) == keep {
 			if key(c) >= key(cands[len(cands)-1]) {
@@ -434,13 +464,17 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 		}
 	}
 
-	if limit < 0 {
+	if limit < 0 || len(cands) == 0 {
 		return nil, nil
 	}
 	tol := s.cfg.ViolationTolerance
 	if tol <= 0 {
 		tol = 0.01
 	}
+	// Batch: build selectivity state once for this instance, recost every
+	// cost-check candidate against it.
+	pi := s.prepareRecost(sv)
+	defer pi.Release()
 	for _, c := range cands {
 		if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
 			break
@@ -448,7 +482,7 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 		if err := ctx.Err(); err != nil {
 			return nil, cancelled(err)
 		}
-		newCost, err := s.eng.Recost(c.e.pp.cp, sv)
+		newCost, err := s.recostWith(pi, c.e.pp.cp, sv)
 		if err != nil {
 			return nil, err
 		}
@@ -536,10 +570,13 @@ func (s *SCR) minCostPlan(sv []float64) (*planEntry, float64, error) {
 		best     *planEntry
 		bestCost = math.Inf(1)
 	)
+	// Batch: one prepared instance across every cached plan's recost.
+	pi := s.prepareRecost(sv)
+	defer pi.Release()
 	// Iterate in deterministic order for reproducibility.
 	for _, fp := range s.sortedPlanFPs() {
 		pe := s.plans[fp]
-		c, err := s.eng.Recost(pe.cp, sv)
+		c, err := s.recostWith(pi, pe.cp, sv)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -627,11 +664,13 @@ func (s *SCR) ProbeCheck(sv []float64) Check {
 	if len(cands) > limit {
 		cands = cands[:limit]
 	}
+	pi := s.prepareRecost(sv)
+	defer pi.Release()
 	for _, c := range cands {
 		if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
 			break
 		}
-		newCost, err := s.eng.Recost(c.e.pp.cp, sv)
+		newCost, err := s.recostWith(pi, c.e.pp.cp, sv)
 		if err != nil {
 			return ViaOptimizer
 		}
@@ -723,13 +762,17 @@ func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 			alt     *planEntry
 			altCost = math.Inf(1)
 		)
+		// Batch per bound instance: its vector is fixed across the recosts
+		// of every alternative plan.
+		pi := s.prepareRecost(e.v)
 		for _, fp := range s.sortedPlanFPs() {
 			other := s.plans[fp]
 			if other == pe {
 				continue
 			}
-			c, err := s.eng.Recost(other.cp, e.v)
+			c, err := s.recostWith(pi, other.cp, e.v)
 			if err != nil {
+				pi.Release()
 				return false, nil, err
 			}
 			s.ctr.manageRecosts.Add(1)
@@ -737,6 +780,7 @@ func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 				alt, altCost = other, c
 			}
 		}
+		pi.Release()
 		if alt == nil {
 			return false, nil, nil
 		}

@@ -107,6 +107,14 @@ type Stats struct {
 	// RedundantPlansRejected counts new plans discarded by the
 	// redundancy check.
 	RedundantPlansRejected int64
+	// RecostCacheHits / RecostCacheMisses report the engine's recost
+	// result cache (zero when the engine does not implement CacheReporter).
+	RecostCacheHits   int64
+	RecostCacheMisses int64
+	// EnvPoolGets / EnvPoolReuses report the engine's pooled selectivity
+	// environments: contexts handed out and pool reuses.
+	EnvPoolGets   int64
+	EnvPoolReuses int64
 }
 
 // Technique is an online PQO technique processing a stream of query
@@ -132,4 +140,28 @@ type Engine interface {
 	Optimize(sv []float64) (*engine.CachedPlan, float64, error)
 	// Recost returns the cost of a previously optimized plan at sv.
 	Recost(cp *engine.CachedPlan, sv []float64) (float64, error)
+}
+
+// BatchEngine is the optional batched-recosting surface of an Engine: a
+// caller about to recost several plans for one instance prepares the
+// instance once (selectivity state + cache key) and recosts candidates
+// against it. engine.TemplateEngine implements it; synthetic test engines
+// need not, and techniques fall back to per-call Recost when the engine
+// does not batch.
+type BatchEngine interface {
+	Engine
+	// PrepareRecost builds a reusable recosting context for sv. The caller
+	// must Release it and must not mutate sv until then.
+	PrepareRecost(sv []float64) (*engine.PreparedInstance, error)
+}
+
+// CacheReporter is the optional accounting surface of an Engine exposing
+// the recost-result-cache and pooled-environment counters surfaced through
+// Stats and /metrics.
+type CacheReporter interface {
+	// RecostCacheCounters reports recost-cache hits and misses.
+	RecostCacheCounters() (hits, misses int64)
+	// EnvPoolCounters reports pooled selectivity environments handed out
+	// and pool reuses.
+	EnvPoolCounters() (gets, reuses int64)
 }

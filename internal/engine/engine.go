@@ -53,6 +53,10 @@ type TemplateEngine struct {
 	recostNanos atomic.Int64
 	optCalls    atomic.Int64
 	recostCalls atomic.Int64
+
+	// rc memoizes recost results per (plan fingerprint, sv hash). Valid
+	// until the statistics store changes; see FlushRecostCache.
+	rc recostCache
 }
 
 // NewTemplateEngine builds an engine for tpl over an existing optimizer.
@@ -83,10 +87,16 @@ func (e *TemplateEngine) Optimize(sv []float64) (*CachedPlan, float64, error) {
 	return &CachedPlan{Plan: p, SM: sm}, c, nil
 }
 
-// Recost computes the cost of a cached plan at sv via its shrunken memo.
+// Recost computes the cost of a cached plan at sv via its shrunken memo,
+// consulting the recost result cache first. Callers recosting several plans
+// for one instance should batch through PrepareRecost instead.
 func (e *TemplateEngine) Recost(cp *CachedPlan, sv []float64) (float64, error) {
 	if cp == nil {
 		return 0, fmt.Errorf("engine: recost of nil cached plan")
+	}
+	key := recostKey{fp: cp.Plan.Fingerprint(), svh: stats.HashSVector(sv)}
+	if c, ok := e.rc.get(key, sv); ok {
+		return c, nil
 	}
 	start := time.Now()
 	c, err := cp.SM.Recost(e.Opt, sv)
@@ -95,7 +105,25 @@ func (e *TemplateEngine) Recost(cp *CachedPlan, sv []float64) (float64, error) {
 	}
 	e.recostNanos.Add(time.Since(start).Nanoseconds())
 	e.recostCalls.Add(1)
+	e.rc.put(key, sv, c)
 	return c, nil
+}
+
+// RecostCacheCounters reports cumulative recost-cache hits and misses.
+func (e *TemplateEngine) RecostCacheCounters() (hits, misses int64) {
+	return e.rc.counters()
+}
+
+// FlushRecostCache drops every cached recost result. Cached costs are
+// deterministic in (plan, sv, statistics), so the only invalidation event
+// is a statistics reload — call this whenever the engine's stats store is
+// rebuilt or swapped.
+func (e *TemplateEngine) FlushRecostCache() { e.rc.flush() }
+
+// EnvPoolCounters reports the optimizer's pooled-environment accounting:
+// environments handed out and pool reuses.
+func (e *TemplateEngine) EnvPoolCounters() (gets, reuses int64) {
+	return e.Opt.EnvPoolCounters()
 }
 
 // Timing reports cumulative wall-clock accounting.

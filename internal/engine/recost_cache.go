@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// recostKey identifies one (plan, instance) recost result: the plan's
+// structural fingerprint (precomputed by plan.New, so keying allocates
+// nothing) and the selectivity vector's hash.
+type recostKey struct {
+	fp  string
+	svh uint64
+}
+
+// recostEntry stores the result together with the exact vector it was
+// computed for, so a (vanishingly unlikely) hash collision degrades to a
+// miss instead of returning a wrong cost.
+type recostEntry struct {
+	cost float64
+	sv   []float64
+}
+
+const (
+	// recostShards spreads the cache over independently locked maps so
+	// concurrent Process calls on different goroutines rarely contend.
+	recostShards = 16
+	// recostShardCap bounds each shard; a full shard is cleared wholesale
+	// (costs were cheap to derive, so crude eviction beats LRU bookkeeping).
+	recostShardCap = 2048
+)
+
+type recostShard struct {
+	mu sync.RWMutex
+	m  map[recostKey]recostEntry
+}
+
+// recostCache memoizes Recost results per engine. Recost is deterministic
+// in (plan, sv, statistics), so entries stay valid until the statistics
+// store is rebuilt — the owner must flush on stats reload.
+type recostCache struct {
+	shards [recostShards]recostShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func (c *recostCache) shardFor(k recostKey) *recostShard {
+	return &c.shards[k.svh&(recostShards-1)]
+}
+
+func svEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the cached cost for (fp, sv), verifying the stored vector.
+func (c *recostCache) get(k recostKey, sv []float64) (float64, bool) {
+	s := c.shardFor(k)
+	s.mu.RLock()
+	e, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok && svEqual(e.sv, sv) {
+		c.hits.Add(1)
+		return e.cost, true
+	}
+	c.misses.Add(1)
+	return 0, false
+}
+
+// put stores a result, copying sv so callers may reuse their buffer.
+func (c *recostCache) put(k recostKey, sv []float64, cost float64) {
+	s := c.shardFor(k)
+	svCopy := append([]float64(nil), sv...)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[recostKey]recostEntry, 64)
+	} else if len(s.m) >= recostShardCap {
+		clear(s.m)
+	}
+	s.m[k] = recostEntry{cost: cost, sv: svCopy}
+	s.mu.Unlock()
+}
+
+// flush drops every entry; counters are preserved.
+func (c *recostCache) flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}
+
+func (c *recostCache) counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

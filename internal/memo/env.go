@@ -8,37 +8,160 @@ package memo
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/catalog"
 	"repro/internal/query"
 	"repro/internal/stats"
 )
+
+// tplMeta is the immutable per-template structure shared by every Env,
+// Optimize and ShrunkenMemo over one template: table indexing, predicate
+// placement, join edges as bitmasks, and the catalog-derived leaf data
+// (rows, indexes, order keys). Computing it once per template — instead of
+// rebuilding maps inside every Env — is what makes pooled environments
+// allocation-free to reset. Templates are immutable after Validate, and
+// every template names its own catalog, so meta is cached per template
+// pointer for the process lifetime.
+type tplMeta struct {
+	tables   []metaTable
+	tableIdx map[string]int
+	edges    []metaEdge
+	dims     int
+}
+
+// metaTable is the per-table slice of a template's metadata.
+type metaTable struct {
+	name string
+	// tab is the catalog entry; nil when the template references a table
+	// the catalog does not know (surfaced as an error by Optimize).
+	tab *catalog.Table
+	// preds holds the indices into Tpl.Preds of the predicates on this
+	// table, in predicate order.
+	preds []int32
+	// indexes mirrors tab.Indexes with precomputed order keys and the
+	// predicate indices each index column serves.
+	indexes []metaIndex
+}
+
+// metaIndex precomputes, per catalog index, everything the access-path
+// enumeration needs without string building.
+type metaIndex struct {
+	name      string
+	column    string
+	clustered bool
+	// orderKey is "table.column", the delivered sort order.
+	orderKey string
+	// preds are the indices of predicates on (table, column).
+	preds []int32
+}
+
+// metaEdge is a join edge with endpoint bitmasks and prebuilt join keys.
+type metaEdge struct {
+	aMask, bMask uint32
+	sel          float64
+	aKey, bKey   string // "table.column" on each side
+}
+
+// metaCache maps *query.Template → *tplMeta.
+var metaCache sync.Map
+
+// metaFor returns the cached metadata for tpl, building it on first use.
+func metaFor(tpl *query.Template) *tplMeta {
+	if m, ok := metaCache.Load(tpl); ok {
+		return m.(*tplMeta)
+	}
+	m := buildMeta(tpl)
+	actual, _ := metaCache.LoadOrStore(tpl, m)
+	return actual.(*tplMeta)
+}
+
+func buildMeta(tpl *query.Template) *tplMeta {
+	n := len(tpl.Tables)
+	m := &tplMeta{
+		tables:   make([]metaTable, n),
+		tableIdx: make(map[string]int, n),
+		dims:     tpl.Dimensions(),
+	}
+	for i, name := range tpl.Tables {
+		m.tableIdx[name] = i
+		mt := &m.tables[i]
+		mt.name = name
+		if tpl.Catalog != nil {
+			mt.tab = tpl.Catalog.Table(name)
+		}
+		for pi, p := range tpl.Preds {
+			if p.Table == name {
+				mt.preds = append(mt.preds, int32(pi))
+			}
+		}
+		if mt.tab == nil {
+			continue
+		}
+		for _, ix := range mt.tab.Indexes {
+			mi := metaIndex{
+				name: ix.Name, column: ix.Column, clustered: ix.Clustered,
+				orderKey: name + "." + ix.Column,
+			}
+			for _, pi := range mt.preds {
+				if tpl.Preds[pi].Column == ix.Column {
+					mi.preds = append(mi.preds, pi)
+				}
+			}
+			mt.indexes = append(mt.indexes, mi)
+		}
+	}
+	m.edges = make([]metaEdge, 0, len(tpl.Joins))
+	for _, j := range tpl.Joins {
+		a, b := m.tableIdx[j.Left], m.tableIdx[j.Right]
+		m.edges = append(m.edges, metaEdge{
+			aMask: 1 << uint(a), bMask: 1 << uint(b),
+			sel:  j.Selectivity,
+			aKey: j.Left + "." + j.LeftCol,
+			bKey: j.Right + "." + j.RightCol,
+		})
+	}
+	return m
+}
 
 // Env is the per-instance selectivity environment: the selectivity of every
 // predicate of a template under one instance's selectivity vector. All
 // cardinality derivation — during optimization and during recost — reads
 // from an Env.
+//
+// Envs are cheap to reset: a pooled Env obtained from Optimizer.PrepareEnv
+// reuses its backing slices, so steady-state Recost traffic allocates
+// nothing. The zero Env is invalid; build with NewEnv or PrepareEnv.
 type Env struct {
-	Tpl *query.Template
+	Tpl  *query.Template
+	meta *tplMeta
 	// predSel[i] is the selectivity of Tpl.Preds[i].
 	predSel []float64
-	// tableSel caches the combined selectivity per table.
-	tableSel map[string]float64
-	// predsOn caches the number of predicates per table.
-	predsOn map[string]int
+	// tableSel[t] is the combined selectivity of the predicates on the
+	// t-th table of Tpl.Tables.
+	tableSel []float64
 }
 
-// NewEnv builds the environment for template tpl under selectivity vector
-// sv. Constant predicates are evaluated against the statistics store st.
+// NewEnv builds a fresh (non-pooled) environment for template tpl under
+// selectivity vector sv. Constant predicates are evaluated against the
+// statistics store st.
 func NewEnv(tpl *query.Template, sv []float64, st *stats.Store) (*Env, error) {
-	if got, want := len(sv), tpl.Dimensions(); got != want {
-		return nil, fmt.Errorf("memo: sVector has %d entries, template %s needs %d", got, tpl.Name, want)
+	e := &Env{}
+	if err := e.reset(tpl, sv, st); err != nil {
+		return nil, err
 	}
-	e := &Env{
-		Tpl:      tpl,
-		predSel:  make([]float64, len(tpl.Preds)),
-		tableSel: make(map[string]float64, len(tpl.Tables)),
-		predsOn:  make(map[string]int, len(tpl.Tables)),
+	return e, nil
+}
+
+// reset (re)initializes e for (tpl, sv), reusing backing slices.
+func (e *Env) reset(tpl *query.Template, sv []float64, st *stats.Store) error {
+	m := metaFor(tpl)
+	if got, want := len(sv), m.dims; got != want {
+		return fmt.Errorf("memo: sVector has %d entries, template %s needs %d", got, tpl.Name, want)
 	}
+	e.Tpl, e.meta = tpl, m
+	e.predSel = grow(e.predSel, len(tpl.Preds))
 	for i, p := range tpl.Preds {
 		if p.Param >= 0 {
 			e.predSel[i] = stats.ClampSelectivity(sv[p.Param])
@@ -54,49 +177,99 @@ func NewEnv(tpl *query.Template, sv []float64, st *stats.Store) (*Env, error) {
 			s, err = st.SelectivityGE(p.Table, p.Column, p.Value)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("memo: constant predicate on %s.%s: %w", p.Table, p.Column, err)
+			return fmt.Errorf("memo: constant predicate on %s.%s: %w", p.Table, p.Column, err)
 		}
 		e.predSel[i] = s
 	}
-	for _, tab := range tpl.Tables {
+	e.tableSel = grow(e.tableSel, len(m.tables))
+	for ti := range m.tables {
 		sel := 1.0
-		n := 0
-		for i, p := range tpl.Preds {
-			if p.Table == tab {
-				sel *= e.predSel[i]
-				n++
-			}
+		for _, pi := range m.tables[ti].preds {
+			sel *= e.predSel[pi]
 		}
-		e.tableSel[tab] = stats.ClampSelectivity(sel)
-		e.predsOn[tab] = n
+		e.tableSel[ti] = stats.ClampSelectivity(sel)
 	}
-	return e, nil
+	return nil
+}
+
+// grow returns s resized to n, reusing capacity when possible.
+func grow(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // TableSel returns the combined selectivity of all predicates on table.
 // Tables without predicates have selectivity 1.
 func (e *Env) TableSel(table string) float64 {
-	if s, ok := e.tableSel[table]; ok {
-		return s
+	if ti, ok := e.meta.tableIdx[table]; ok {
+		return e.tableSel[ti]
 	}
 	return 1
 }
 
 // NumPredsOn returns the number of predicates on table.
-func (e *Env) NumPredsOn(table string) int { return e.predsOn[table] }
+func (e *Env) NumPredsOn(table string) int {
+	if ti, ok := e.meta.tableIdx[table]; ok {
+		return len(e.meta.tables[ti].preds)
+	}
+	return 0
+}
 
 // PredSelOn returns the selectivity of the predicate on table.column and
 // whether such a predicate exists. Templates are constructed with at most
 // one predicate per column; if several exist their combined selectivity is
 // returned.
 func (e *Env) PredSelOn(table, column string) (float64, bool) {
+	ti, ok := e.meta.tableIdx[table]
+	if !ok {
+		return 1, false
+	}
 	sel := 1.0
 	found := false
-	for i, p := range e.Tpl.Preds {
-		if p.Table == table && p.Column == column {
-			sel *= e.predSel[i]
+	for _, pi := range e.meta.tables[ti].preds {
+		if e.Tpl.Preds[pi].Column == column {
+			sel *= e.predSel[pi]
 			found = true
 		}
 	}
 	return sel, found
+}
+
+// envPool recycles Envs across PrepareEnv/ReleaseEnv cycles so the recost
+// hot path reaches steady-state zero allocations.
+var envPool = sync.Pool{New: func() any { return new(Env) }}
+
+// PrepareEnv returns a pooled environment for (tpl, sv): the batched
+// recosting entry point. Build the environment once per query instance,
+// recost any number of candidate plans against it with
+// ShrunkenMemo.RecostWith or Optimizer.RecostPlanWith, then return it with
+// ReleaseEnv. The Env must not be used after release.
+func (o *Optimizer) PrepareEnv(tpl *query.Template, sv []float64) (*Env, error) {
+	e := envPool.Get().(*Env)
+	atomic.AddInt64(&o.envGets, 1)
+	if e.meta != nil {
+		atomic.AddInt64(&o.envReuses, 1)
+	}
+	if err := e.reset(tpl, sv, o.Stats); err != nil {
+		envPool.Put(e)
+		return nil, err
+	}
+	return e, nil
+}
+
+// ReleaseEnv returns a pooled environment to the pool. nil is a no-op.
+func (o *Optimizer) ReleaseEnv(e *Env) {
+	if e != nil {
+		envPool.Put(e)
+	}
+}
+
+// EnvPoolCounters reports how many pooled environments were handed out and
+// how many of those reused a previously allocated Env (pool hits). The
+// reuse ratio approaches 1 in steady state; it is surfaced through the
+// serving stack's Stats and /metrics.
+func (o *Optimizer) EnvPoolCounters() (gets, reuses int64) {
+	return atomic.LoadInt64(&o.envGets), atomic.LoadInt64(&o.envReuses)
 }

@@ -3,6 +3,8 @@ package memo
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
@@ -11,6 +13,9 @@ import (
 	"repro/internal/query"
 	"repro/internal/stats"
 )
+
+// maxJoinTables bounds the DP search; the flat memo array has 2^n groups.
+const maxJoinTables = 20
 
 // Optimizer performs cost-based plan search for query templates over one
 // catalog. It is safe for concurrent use; accounting counters are atomic.
@@ -27,6 +32,10 @@ type Optimizer struct {
 	recostOps  int64
 	optCalls   int64
 	recalls    int64
+
+	// envGets/envReuses account the pooled-environment hot path (PrepareEnv).
+	envGets   int64
+	envReuses int64
 }
 
 // NewOptimizer returns an optimizer over the given catalog, cost model and
@@ -44,16 +53,35 @@ func (o *Optimizer) Counters() (optCalls, exprCosted, recostCalls, recostOps int
 }
 
 // candidate is one physical alternative for a memo group, possibly carrying
-// a delivered sort order (an interesting order in System-R terms).
+// a delivered sort order (an interesting order in System-R terms). It is a
+// value type: the search keeps candidates inline in group arrays and only
+// materializes plan.Nodes for the winning plan, so losing alternatives cost
+// no allocation.
 type candidate struct {
-	node *plan.Node
 	cst  float64
 	card float64
 	// rowBytes is the output row width, used by the hash-join spill test.
 	rowBytes int
 	// order is "table.column" if the plan delivers rows sorted on that
-	// column, else "".
+	// column, else "". Only leaf candidates (index scans) deliver orders.
 	order string
+
+	op plan.OpType
+
+	// Leaf fields (TableScan, IndexScan).
+	table       string
+	index       string
+	indexColumn string
+	clustered   bool
+	residual    int
+
+	// Join fields: children are identified by (group mask, winner index)
+	// instead of node pointers.
+	leftMask, rightMask uint32
+	leftIdx, rightIdx   int32
+	joinCol             string
+	rightJoinCol        string
+	joinSel             float64
 }
 
 // group is a memo group: the equivalence class of all plans producing the
@@ -63,27 +91,15 @@ type group struct {
 	winners []candidate
 }
 
-// best returns the cheapest candidate overall, or nil.
-func (g *group) best() *candidate {
-	var out *candidate
+// bestIdx returns the index of the cheapest candidate, or -1 if empty.
+func (g *group) bestIdx() int {
+	best := -1
 	for i := range g.winners {
-		if out == nil || g.winners[i].cst < out.cst {
-			out = &g.winners[i]
+		if best < 0 || g.winners[i].cst < g.winners[best].cst {
+			best = i
 		}
 	}
-	return out
-}
-
-// bestWithOrder returns the cheapest candidate delivering the given order,
-// or nil.
-func (g *group) bestWithOrder(order string) *candidate {
-	var out *candidate
-	for i := range g.winners {
-		if g.winners[i].order == order && (out == nil || g.winners[i].cst < out.cst) {
-			out = &g.winners[i]
-		}
-	}
-	return out
+	return best
 }
 
 // offer adds a candidate if it improves on the incumbent for its order or
@@ -101,188 +117,179 @@ func (g *group) offer(c candidate) {
 	g.winners = append(g.winners, c)
 }
 
+// searchCtx is the reusable scratch state of one Optimize call: the flat
+// memo array indexed by table-subset mask. Pooled so steady-state
+// optimization reuses both the group array and the per-group winner
+// arrays.
+type searchCtx struct {
+	groups []group
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchCtx) }}
+
+// acquireSearchCtx returns a scratch context with 1<<n empty groups.
+func acquireSearchCtx(n int) *searchCtx {
+	sc := searchPool.Get().(*searchCtx)
+	size := 1 << uint(n)
+	if cap(sc.groups) < size {
+		sc.groups = make([]group, size)
+	} else {
+		sc.groups = sc.groups[:size]
+		for i := range sc.groups {
+			sc.groups[i].winners = sc.groups[i].winners[:0]
+		}
+	}
+	return sc
+}
+
+func releaseSearchCtx(sc *searchCtx) { searchPool.Put(sc) }
+
 // Optimize finds the cheapest physical plan for tpl under selectivity
 // vector sv and returns it with its estimated cost. This corresponds to a
 // full optimizer call in the paper: it searches the space of join orders,
 // join algorithms and access paths.
+//
+// The search runs over a flat []group array indexed by table-subset mask.
+// Connectivity needs no per-mask graph traversal: a leaf group always has
+// candidates, and a join group gains candidates exactly when some split
+// has a crossing join edge and two non-empty sides — which, by induction,
+// holds if and only if the subset is connected. Disconnected masks simply
+// stay empty, so the explicit BFS check of the seed implementation is
+// redundant and the enumeration is pure mask arithmetic.
 func (o *Optimizer) Optimize(tpl *query.Template, sv []float64) (*plan.Plan, float64, error) {
-	env, err := NewEnv(tpl, sv, o.Stats)
+	env, err := o.PrepareEnv(tpl, sv)
 	if err != nil {
 		return nil, 0, err
 	}
+	defer o.ReleaseEnv(env)
 	atomic.AddInt64(&o.optCalls, 1)
 
 	n := len(tpl.Tables)
-	if n > 20 {
-		return nil, 0, fmt.Errorf("memo: template %s joins %d tables; limit is 20", tpl.Name, n)
+	if n > maxJoinTables {
+		return nil, 0, fmt.Errorf("memo: template %s joins %d tables; limit is %d", tpl.Name, n, maxJoinTables)
 	}
-	tableIdx := make(map[string]int, n)
-	for i, t := range tpl.Tables {
-		tableIdx[t] = i
-	}
-	// adj[i] is the bitmask of tables joined to table i.
-	adj := make([]uint32, n)
-	type edge struct {
-		a, b       int
-		aCol, bCol string
-		sel        float64
-	}
-	edges := make([]edge, 0, len(tpl.Joins))
-	for _, j := range tpl.Joins {
-		a, b := tableIdx[j.Left], tableIdx[j.Right]
-		adj[a] |= 1 << uint(b)
-		adj[b] |= 1 << uint(a)
-		edges = append(edges, edge{a: a, b: b, aCol: j.LeftCol, bCol: j.RightCol, sel: j.Selectivity})
-	}
+	m := env.meta
 
-	groups := make(map[uint32]*group, 1<<uint(n))
+	sc := acquireSearchCtx(n)
+	defer releaseSearchCtx(sc)
+	exprCosted := int64(0)
 
 	// Leaf groups: access-path selection per table.
-	for i, tname := range tpl.Tables {
-		t := o.Cat.Table(tname)
-		g := &group{}
-		tsel := env.TableSel(tname)
-		card := float64(t.Rows) * tsel
-		nPreds := env.NumPredsOn(tname)
+	for i := range m.tables {
+		mt := &m.tables[i]
+		if mt.tab == nil {
+			return nil, 0, fmt.Errorf("memo: template %s references unknown table %s", tpl.Name, mt.name)
+		}
+		g := &sc.groups[1<<uint(i)]
+		rows := float64(mt.tab.Rows)
+		card := rows * env.tableSel[i]
+		nPreds := len(mt.preds)
 
 		// Full table scan: all predicates are residual filters.
-		scanCost := o.Model.TableScanCost(t) + o.Model.FilterCost(float64(t.Rows), nPreds)
+		scanCost := o.Model.TableScanCost(mt.tab) + o.Model.FilterCost(rows, nPreds)
 		g.offer(candidate{
-			node:     &plan.Node{Op: plan.TableScan, Table: tname, ResidualPreds: nPreds},
-			cst:      scanCost,
-			card:     card,
-			rowBytes: t.RowBytes,
+			op: plan.TableScan, table: mt.name, residual: nPreds,
+			cst: scanCost, card: card, rowBytes: mt.tab.RowBytes,
 		})
-		atomic.AddInt64(&o.exprCosted, 1)
+		exprCosted++
 
 		// Index scans: one per index; usable as an access path when a
 		// predicate exists on the index column, and always usable as an
 		// order-delivering full scan via the clustered index.
-		for _, ix := range t.Indexes {
-			ixSel, hasPred := env.PredSelOn(tname, ix.Column)
-			if !hasPred {
-				if !ix.Clustered {
-					continue
+		for xi := range mt.indexes {
+			ix := &mt.indexes[xi]
+			hasPred := len(ix.preds) > 0
+			ixSel := 1.0
+			if hasPred {
+				for _, pi := range ix.preds {
+					ixSel *= env.predSel[pi]
 				}
-				ixSel = 1 // clustered full scan in index order
+			} else if !ix.clustered {
+				continue
 			}
-			matched := float64(t.Rows) * ixSel
-			cst := o.Model.IndexScanCost(t, ix.Clustered, ixSel)
+			matched := rows * ixSel
+			cst := o.Model.IndexScanCost(mt.tab, ix.clustered, ixSel)
 			residual := nPreds
 			if hasPred {
 				residual--
 			}
 			cst += o.Model.FilterCost(matched, residual)
 			g.offer(candidate{
-				node: &plan.Node{
-					Op: plan.IndexScan, Table: tname, Index: ix.Name,
-					IndexColumn: ix.Column, Clustered: ix.Clustered,
-					ResidualPreds: residual,
-				},
-				cst:      cst,
-				card:     card,
-				rowBytes: t.RowBytes,
-				order:    tname + "." + ix.Column,
+				op: plan.IndexScan, table: mt.name, index: ix.name,
+				indexColumn: ix.column, clustered: ix.clustered, residual: residual,
+				cst: cst, card: card, rowBytes: mt.tab.RowBytes, order: ix.orderKey,
 			})
-			atomic.AddInt64(&o.exprCosted, 1)
+			exprCosted++
 		}
-		groups[1<<uint(i)] = g
-	}
-
-	// crossInfo computes, for a (left, right) mask pair, the product of the
-	// selectivities of the crossing join edges and the representative join
-	// columns on each side. Returns ok=false if no edge crosses.
-	crossInfo := func(lm, rm uint32) (sel float64, lCol, rCol string, ok bool) {
-		sel = 1
-		for _, e := range edges {
-			la, ra := uint32(1)<<uint(e.a), uint32(1)<<uint(e.b)
-			switch {
-			case lm&la != 0 && rm&ra != 0:
-				sel *= e.sel
-				if !ok {
-					lCol = tpl.Tables[e.a] + "." + e.aCol
-					rCol = tpl.Tables[e.b] + "." + e.bCol
-				}
-				ok = true
-			case lm&ra != 0 && rm&la != 0:
-				sel *= e.sel
-				if !ok {
-					lCol = tpl.Tables[e.b] + "." + e.bCol
-					rCol = tpl.Tables[e.a] + "." + e.aCol
-				}
-				ok = true
-			}
-		}
-		return sel, lCol, rCol, ok
-	}
-
-	connected := func(mask uint32) bool {
-		if mask == 0 {
-			return false
-		}
-		// BFS from the lowest set bit.
-		start := mask & (^mask + 1)
-		seen := start
-		frontier := start
-		for frontier != 0 {
-			next := uint32(0)
-			for f := frontier; f != 0; {
-				i := trailingZeros(f)
-				f &^= 1 << uint(i)
-				next |= adj[i] & mask &^ seen
-			}
-			seen |= next
-			frontier = next
-		}
-		return seen == mask
 	}
 
 	full := uint32(1)<<uint(n) - 1
-	// Enumerate masks in increasing popcount order (natural order works:
-	// any submask of m is numerically smaller than m).
+	// Enumerate masks in increasing numeric order (any submask of m is
+	// numerically smaller than m, so children are final before parents).
 	for mask := uint32(1); mask <= full; mask++ {
-		if mask&full != mask || popcount(mask) < 2 || !connected(mask) {
+		if bits.OnesCount32(mask) < 2 {
 			continue
 		}
-		g := &group{}
+		g := &sc.groups[mask]
 		// Enumerate proper submasks as the left (outer) input.
 		for sub := (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask {
 			rest := mask ^ sub
-			lg, rg := groups[sub], groups[rest]
-			if lg == nil || rg == nil {
+			lg, rg := &sc.groups[sub], &sc.groups[rest]
+			if len(lg.winners) == 0 || len(rg.winners) == 0 {
 				continue
 			}
-			jsel, lCol, rCol, ok := crossInfo(sub, rest)
-			if !ok {
-				continue // Cartesian products are not enumerated.
+			// Crossing-edge scan: product of crossing selectivities and
+			// the representative join columns from the first crossing
+			// edge. Cartesian products (no edge) are not enumerated.
+			jsel := 1.0
+			var lCol, rCol string
+			crossing := false
+			for ei := range m.edges {
+				e := &m.edges[ei]
+				switch {
+				case sub&e.aMask != 0 && rest&e.bMask != 0:
+					jsel *= e.sel
+					if !crossing {
+						lCol, rCol = e.aKey, e.bKey
+					}
+					crossing = true
+				case sub&e.bMask != 0 && rest&e.aMask != 0:
+					jsel *= e.sel
+					if !crossing {
+						lCol, rCol = e.bKey, e.aKey
+					}
+					crossing = true
+				}
 			}
-			l, r := lg.best(), rg.best()
-			if l == nil || r == nil {
+			if !crossing {
 				continue
 			}
+			li, ri := lg.bestIdx(), rg.bestIdx()
+			l, r := &lg.winners[li], &rg.winners[ri]
 			outCard := l.card * r.card * jsel
 			outBytes := l.rowBytes + r.rowBytes
 
 			// Hash join: build on the inner (right) input.
 			hjCost := l.cst + r.cst + o.Model.HashJoinCost(l.card, r.card, r.rowBytes)
 			g.offer(candidate{
-				node: &plan.Node{Op: plan.HashJoin, JoinCol: lCol, RightJoinCol: rCol, JoinSel: jsel,
-					Children: []*plan.Node{l.node, r.node}},
+				op: plan.HashJoin, joinCol: lCol, rightJoinCol: rCol, joinSel: jsel,
+				leftMask: sub, rightMask: rest, leftIdx: int32(li), rightIdx: int32(ri),
 				cst: hjCost, card: outCard, rowBytes: outBytes,
 			})
 			// Nested loops join.
 			nlCost := l.cst + r.cst + o.Model.NLJoinCost(l.card, r.card)
 			g.offer(candidate{
-				node: &plan.Node{Op: plan.NLJoin, JoinCol: lCol, RightJoinCol: rCol, JoinSel: jsel,
-					Children: []*plan.Node{l.node, r.node}},
+				op: plan.NLJoin, joinCol: lCol, rightJoinCol: rCol, joinSel: jsel,
+				leftMask: sub, rightMask: rest, leftIdx: int32(li), rightIdx: int32(ri),
 				cst: nlCost, card: outCard, rowBytes: outBytes,
 			})
-			atomic.AddInt64(&o.exprCosted, 2)
+			exprCosted += 2
 
 			// Merge join: try every (left order, right order) pairing so a
 			// pre-sorted index scan can discount the sort.
-			for _, lc := range lg.winners {
-				for _, rc := range rg.winners {
+			for lci := range lg.winners {
+				for rci := range rg.winners {
+					lc, rc := &lg.winners[lci], &rg.winners[rci]
 					lSorted := lc.order != "" && lc.order == lCol
 					rSorted := rc.order != "" && rc.order == rCol
 					// Only consider non-best children when they supply a
@@ -292,63 +299,80 @@ func (o *Optimizer) Optimize(tpl *query.Template, sv []float64) (*plan.Plan, flo
 					}
 					mjCost := lc.cst + rc.cst + o.Model.MergeJoinCost(lc.card, rc.card, lSorted, rSorted)
 					g.offer(candidate{
-						node: &plan.Node{Op: plan.MergeJoin, JoinCol: lCol, RightJoinCol: rCol, JoinSel: jsel,
-							Children: []*plan.Node{lc.node, rc.node}},
+						op: plan.MergeJoin, joinCol: lCol, rightJoinCol: rCol, joinSel: jsel,
+						leftMask: sub, rightMask: rest, leftIdx: int32(lci), rightIdx: int32(rci),
 						cst: mjCost, card: outCard, rowBytes: outBytes,
 					})
-					atomic.AddInt64(&o.exprCosted, 1)
+					exprCosted++
 				}
 			}
 		}
-		if len(g.winners) > 0 {
-			groups[mask] = g
-		}
 	}
 
-	top := groups[full]
-	if top == nil {
+	top := &sc.groups[full]
+	if len(top.winners) == 0 {
+		atomic.AddInt64(&o.exprCosted, exprCosted)
 		return nil, 0, fmt.Errorf("memo: no plan found for template %s", tpl.Name)
 	}
-	bestCand := top.best()
-	root := bestCand.node
-	total := bestCand.cst
+	bi := top.bestIdx()
+	best := &top.winners[bi]
+	total := best.cst
 
+	aggOp := plan.OpType(-1)
 	if tpl.Agg == query.GroupBy {
-		inCard := bestCand.card
+		inCard := best.card
 		hashCost := total + o.Model.HashAggCost(inCard)
 		streamCost := total + o.Model.StreamAggCost(inCard)
-		atomic.AddInt64(&o.exprCosted, 2)
+		exprCosted += 2
 		if hashCost <= streamCost {
-			root = &plan.Node{Op: plan.HashAgg, Children: []*plan.Node{root}}
+			aggOp = plan.HashAgg
 			total = hashCost
 		} else {
-			root = &plan.Node{Op: plan.StreamAgg, Children: []*plan.Node{root}}
+			aggOp = plan.StreamAgg
 			total = streamCost
 		}
 	}
+	atomic.AddInt64(&o.exprCosted, exprCosted)
 	if math.IsNaN(total) || math.IsInf(total, 0) || total <= 0 {
 		return nil, 0, fmt.Errorf("memo: degenerate plan cost %v for template %s", total, tpl.Name)
 	}
+
+	root := sc.materialize(full, int32(bi), n, aggOp)
 	return plan.New(tpl.Name, root), total, nil
 }
 
-func popcount(x uint32) int {
-	count := 0
-	for x != 0 {
-		x &= x - 1
-		count++
+// materialize builds the winning plan tree from the candidate graph. All
+// nodes live in one arena allocated at exactly the plan's node count upper
+// bound (n leaves + n-1 joins + 1 aggregate), so only the winner pays node
+// allocations — never the losing candidates.
+func (sc *searchCtx) materialize(full uint32, bestIdx int32, n int, aggOp plan.OpType) *plan.Node {
+	arena := make([]plan.Node, 0, 2*n)
+	var build func(mask uint32, idx int32) *plan.Node
+	build = func(mask uint32, idx int32) *plan.Node {
+		c := &sc.groups[mask].winners[idx]
+		switch c.op {
+		case plan.TableScan:
+			arena = append(arena, plan.Node{Op: plan.TableScan, Table: c.table, ResidualPreds: c.residual})
+		case plan.IndexScan:
+			arena = append(arena, plan.Node{
+				Op: plan.IndexScan, Table: c.table, Index: c.index,
+				IndexColumn: c.indexColumn, Clustered: c.clustered,
+				ResidualPreds: c.residual,
+			})
+		default:
+			l := build(c.leftMask, c.leftIdx)
+			r := build(c.rightMask, c.rightIdx)
+			arena = append(arena, plan.Node{
+				Op: c.op, JoinCol: c.joinCol, RightJoinCol: c.rightJoinCol,
+				JoinSel: c.joinSel, Children: []*plan.Node{l, r},
+			})
+		}
+		return &arena[len(arena)-1]
 	}
-	return count
-}
-
-func trailingZeros(x uint32) int {
-	if x == 0 {
-		return 32
+	root := build(full, bestIdx)
+	if aggOp >= 0 {
+		arena = append(arena, plan.Node{Op: aggOp, Children: []*plan.Node{root}})
+		root = &arena[len(arena)-1]
 	}
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
+	return root
 }

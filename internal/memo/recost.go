@@ -14,22 +14,39 @@ import (
 // costs are re-derived bottom-up exactly as the optimizer would derive them
 // for the same tree, so Recost(Optimize(sv).plan, sv) equals the optimizer's
 // winning cost.
+//
+// The selectivity environment is pooled; callers recosting several plans
+// against the same instance should build the environment once with
+// PrepareEnv and use RecostPlanWith instead.
 func (o *Optimizer) Recost(p *plan.Plan, tpl *query.Template, sv []float64) (float64, error) {
-	env, err := NewEnv(tpl, sv, o.Stats)
+	env, err := o.PrepareEnv(tpl, sv)
 	if err != nil {
 		return 0, err
 	}
-	atomic.AddInt64(&o.recalls, 1)
-	c, _, _, err := o.recostNode(p.Root, env)
+	c, err := o.RecostPlanWith(env, p)
+	o.ReleaseEnv(env)
 	return c, err
 }
 
-// recostNode returns (cost, outputCard, outputRowBytes) for the subtree.
-func (o *Optimizer) recostNode(n *plan.Node, env *Env) (cst, card float64, rowBytes int, err error) {
+// RecostPlanWith recosts plan p against a previously prepared environment:
+// the batched form of Recost. The environment carries the template, so any
+// number of candidate plans for the same instance can be recosted without
+// recomputing selectivity state.
+func (o *Optimizer) RecostPlanWith(env *Env, p *plan.Plan) (float64, error) {
+	atomic.AddInt64(&o.recalls, 1)
+	ops := int64(0)
+	c, _, _, err := o.recostNode(p.Root, env, &ops)
+	atomic.AddInt64(&o.recostOps, ops)
+	return c, err
+}
+
+// recostNode returns (cost, outputCard, outputRowBytes) for the subtree,
+// accumulating the visited-operator count into *ops.
+func (o *Optimizer) recostNode(n *plan.Node, env *Env, ops *int64) (cst, card float64, rowBytes int, err error) {
 	if n == nil {
 		return 0, 0, 0, fmt.Errorf("memo: recost of nil plan node")
 	}
-	atomic.AddInt64(&o.recostOps, 1)
+	*ops++
 	switch n.Op {
 	case plan.TableScan:
 		t := o.Cat.Table(n.Table)
@@ -60,11 +77,11 @@ func (o *Optimizer) recostNode(n *plan.Node, env *Env) (cst, card float64, rowBy
 		return cst, card, t.RowBytes, nil
 
 	case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
-		lc, lCard, lBytes, err := o.recostNode(n.Children[0], env)
+		lc, lCard, lBytes, err := o.recostNode(n.Children[0], env, ops)
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		rc, rCard, rBytes, err := o.recostNode(n.Children[1], env)
+		rc, rCard, rBytes, err := o.recostNode(n.Children[1], env, ops)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -82,7 +99,7 @@ func (o *Optimizer) recostNode(n *plan.Node, env *Env) (cst, card float64, rowBy
 		return lc + rc + opCost, lCard * rCard * n.JoinSel, lBytes + rBytes, nil
 
 	case plan.HashAgg, plan.StreamAgg:
-		ic, iCard, iBytes, err := o.recostNode(n.Children[0], env)
+		ic, iCard, iBytes, err := o.recostNode(n.Children[0], env, ops)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -106,7 +123,13 @@ func (o *Optimizer) recostNode(n *plan.Node, env *Env) (cst, card float64, rowBy
 // deliversOrder reports whether the child plan delivers rows sorted on the
 // given "table.column" key — true exactly when it is an index scan whose
 // index column is that key, mirroring the order property used during
-// optimization.
+// optimization. The comparison is segment-wise to avoid building the key
+// string on the recost hot path.
 func deliversOrder(n *plan.Node, key string) bool {
-	return n != nil && n.Op == plan.IndexScan && n.Table+"."+n.IndexColumn == key
+	if n == nil || n.Op != plan.IndexScan {
+		return false
+	}
+	lt := len(n.Table)
+	return len(key) == lt+1+len(n.IndexColumn) &&
+		key[:lt] == n.Table && key[lt] == '.' && key[lt+1:] == n.IndexColumn
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/catalog"
 	"repro/internal/plan"
 	"repro/internal/query"
 )
@@ -25,20 +26,27 @@ type ShrunkenMemo struct {
 }
 
 // shrunkenOp is one operator entry. Child references are indices into the
-// ops slice (always smaller than the entry's own index: post-order).
+// ops slice (always smaller than the entry's own index: post-order). All
+// catalog and template lookups are resolved at compile time so recosting is
+// pure arithmetic over the environment's selectivity arrays.
 type shrunkenOp struct {
 	op    plan.OpType
 	left  int // -1 for leaves
 	right int // -1 for leaves and unary ops
 
 	// Leaf data.
-	table       string
-	rows        float64
-	rowBytes    int
-	clustered   bool
-	indexColumn string
-	nPreds      int
-	hasIxPred   bool
+	table    string
+	tab      *catalog.Table
+	rows     float64
+	rowBytes int
+	// tableIdx is the table's position in the template (-1 if the plan
+	// references a table the template does not join; such a table carries
+	// no predicates).
+	tableIdx  int
+	nPreds    int
+	clustered bool
+	// ixPreds are the predicate indices served by the scanned index column.
+	ixPreds []int32
 
 	// Join data.
 	joinSel                 float64
@@ -50,7 +58,7 @@ type shrunkenOp struct {
 // part of the Recost API's overhead).
 func NewShrunkenMemo(o *Optimizer, p *plan.Plan, tpl *query.Template) (*ShrunkenMemo, error) {
 	sm := &ShrunkenMemo{tpl: tpl}
-	idx, err := sm.compile(o, p.Root)
+	idx, err := sm.compile(o, metaFor(tpl), p.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +66,7 @@ func NewShrunkenMemo(o *Optimizer, p *plan.Plan, tpl *query.Template) (*Shrunken
 	return sm, nil
 }
 
-func (sm *ShrunkenMemo) compile(o *Optimizer, n *plan.Node) (int, error) {
+func (sm *ShrunkenMemo) compile(o *Optimizer, m *tplMeta, n *plan.Node) (int, error) {
 	if n == nil {
 		return -1, fmt.Errorf("memo: shrunken memo of nil node")
 	}
@@ -70,18 +78,29 @@ func (sm *ShrunkenMemo) compile(o *Optimizer, n *plan.Node) (int, error) {
 		}
 		e := shrunkenOp{
 			op: n.Op, left: -1, right: -1,
-			table: n.Table, rows: float64(t.Rows), rowBytes: t.RowBytes,
-			clustered: n.Clustered, indexColumn: n.IndexColumn,
+			table: n.Table, tab: t, rows: float64(t.Rows), rowBytes: t.RowBytes,
+			tableIdx: -1, clustered: n.Clustered,
+		}
+		if ti, ok := m.tableIdx[n.Table]; ok {
+			e.tableIdx = ti
+			e.nPreds = len(m.tables[ti].preds)
+			if n.Op == plan.IndexScan {
+				for _, pi := range m.tables[ti].preds {
+					if sm.tpl.Preds[pi].Column == n.IndexColumn {
+						e.ixPreds = append(e.ixPreds, pi)
+					}
+				}
+			}
 		}
 		sm.ops = append(sm.ops, e)
 		return len(sm.ops) - 1, nil
 
 	case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
-		l, err := sm.compile(o, n.Children[0])
+		l, err := sm.compile(o, m, n.Children[0])
 		if err != nil {
 			return -1, err
 		}
-		r, err := sm.compile(o, n.Children[1])
+		r, err := sm.compile(o, m, n.Children[1])
 		if err != nil {
 			return -1, err
 		}
@@ -94,7 +113,7 @@ func (sm *ShrunkenMemo) compile(o *Optimizer, n *plan.Node) (int, error) {
 		return len(sm.ops) - 1, nil
 
 	case plan.HashAgg, plan.StreamAgg:
-		c, err := sm.compile(o, n.Children[0])
+		c, err := sm.compile(o, m, n.Children[0])
 		if err != nil {
 			return -1, err
 		}
@@ -109,7 +128,7 @@ func (sm *ShrunkenMemo) compile(o *Optimizer, n *plan.Node) (int, error) {
 // Size returns an estimate of the memory footprint in bytes, used for the
 // plan-cache overhead accounting of §6.1.
 func (sm *ShrunkenMemo) Size() int {
-	const opBytes = 112 // approximate size of one shrunkenOp entry
+	const opBytes = 136 // approximate size of one shrunkenOp entry
 	return len(sm.ops)*opBytes + 64
 }
 
@@ -117,41 +136,75 @@ func (sm *ShrunkenMemo) Size() int {
 func (sm *ShrunkenMemo) NumOps() int { return len(sm.ops) }
 
 // Recost re-derives the plan's cost for selectivity vector sv. It is the
-// fast path used by the PQO cost and redundancy checks.
+// fast path used by the PQO cost and redundancy checks. The environment is
+// pooled; batch callers should prepare one with Optimizer.PrepareEnv and
+// call RecostWith directly.
 func (sm *ShrunkenMemo) Recost(o *Optimizer, sv []float64) (float64, error) {
-	env, err := NewEnv(sm.tpl, sv, o.Stats)
+	env, err := o.PrepareEnv(sm.tpl, sv)
 	if err != nil {
 		return 0, err
+	}
+	c, err := sm.RecostWith(o, env)
+	o.ReleaseEnv(env)
+	return c, err
+}
+
+// smState is the per-operator derived state of one recost pass.
+type smState struct {
+	cst, card float64
+	rowBytes  int
+}
+
+// smStackOps is the operator count up to which RecostWith evaluates on a
+// stack buffer; larger plans (beyond ~16-way joins with aggregation) fall
+// back to one heap allocation.
+const smStackOps = 48
+
+// RecostWith re-derives the plan's cost against a previously prepared
+// environment: the batched form of Recost. The environment must have been
+// prepared for the same template this memo was compiled from.
+func (sm *ShrunkenMemo) RecostWith(o *Optimizer, env *Env) (float64, error) {
+	if env == nil || env.Tpl != sm.tpl {
+		return 0, fmt.Errorf("memo: recost environment does not match shrunken memo template")
 	}
 	atomic.AddInt64(&o.recalls, 1)
 	atomic.AddInt64(&o.recostOps, int64(len(sm.ops)))
 
-	type state struct {
-		cst, card float64
-		rowBytes  int
+	var buf [smStackOps]smState
+	var states []smState
+	if len(sm.ops) <= smStackOps {
+		states = buf[:len(sm.ops)]
+	} else {
+		states = make([]smState, len(sm.ops))
 	}
-	states := make([]state, len(sm.ops))
 	for i := range sm.ops {
 		e := &sm.ops[i]
 		switch e.op {
 		case plan.TableScan:
-			nPreds := env.NumPredsOn(e.table)
-			cst := o.Model.TableScanCost(o.Cat.Table(e.table)) + o.Model.FilterCost(e.rows, nPreds)
-			states[i] = state{cst: cst, card: e.rows * env.TableSel(e.table), rowBytes: e.rowBytes}
+			tableSel := 1.0
+			if e.tableIdx >= 0 {
+				tableSel = env.tableSel[e.tableIdx]
+			}
+			cst := o.Model.TableScanCost(e.tab) + o.Model.FilterCost(e.rows, e.nPreds)
+			states[i] = smState{cst: cst, card: e.rows * tableSel, rowBytes: e.rowBytes}
 
 		case plan.IndexScan:
-			ixSel, hasPred := env.PredSelOn(e.table, e.indexColumn)
-			if !hasPred {
-				ixSel = 1
+			ixSel := 1.0
+			for _, pi := range e.ixPreds {
+				ixSel *= env.predSel[pi]
 			}
 			matched := e.rows * ixSel
-			residual := env.NumPredsOn(e.table)
-			if hasPred {
+			residual := e.nPreds
+			if len(e.ixPreds) > 0 {
 				residual--
 			}
-			cst := o.Model.IndexScanCost(o.Cat.Table(e.table), e.clustered, ixSel) +
+			tableSel := 1.0
+			if e.tableIdx >= 0 {
+				tableSel = env.tableSel[e.tableIdx]
+			}
+			cst := o.Model.IndexScanCost(e.tab, e.clustered, ixSel) +
 				o.Model.FilterCost(matched, residual)
-			states[i] = state{cst: cst, card: e.rows * env.TableSel(e.table), rowBytes: e.rowBytes}
+			states[i] = smState{cst: cst, card: e.rows * tableSel, rowBytes: e.rowBytes}
 
 		case plan.NLJoin, plan.HashJoin, plan.MergeJoin:
 			l, r := states[e.left], states[e.right]
@@ -164,7 +217,7 @@ func (sm *ShrunkenMemo) Recost(o *Optimizer, sv []float64) (float64, error) {
 			case plan.MergeJoin:
 				opCost = o.Model.MergeJoinCost(l.card, r.card, e.leftSorted, e.rightSorted)
 			}
-			states[i] = state{
+			states[i] = smState{
 				cst:      l.cst + r.cst + opCost,
 				card:     l.card * r.card * e.joinSel,
 				rowBytes: l.rowBytes + r.rowBytes,
@@ -182,7 +235,7 @@ func (sm *ShrunkenMemo) Recost(o *Optimizer, sv []float64) (float64, error) {
 			if sm.tpl.Agg == query.GroupBy && sm.tpl.GroupCard > 0 && sm.tpl.GroupCard < outCard {
 				outCard = sm.tpl.GroupCard
 			}
-			states[i] = state{cst: in.cst + opCost, card: outCard, rowBytes: in.rowBytes}
+			states[i] = smState{cst: in.cst + opCost, card: outCard, rowBytes: in.rowBytes}
 		}
 	}
 	return states[sm.root].cst, nil

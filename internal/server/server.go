@@ -327,19 +327,21 @@ func (s *Server) handleTemplates(w http.ResponseWriter, _ *http.Request) {
 // StatsRow is one row of GET /stats: the paper's metrics plus the
 // concurrency counters for one template.
 type StatsRow struct {
-	Template       string  `json:"template"`
-	Instances      int64   `json:"instances"`
-	NumOpt         int64   `json:"numOpt"`
-	OptPct         float64 `json:"optPct"`
-	SharedOptCalls int64   `json:"sharedOptCalls"`
-	ReadPathHits   int64   `json:"readPathHits"`
-	WritePathHits  int64   `json:"writePathHits"`
-	Plans          int     `json:"plans"`
-	MemoryBytes    int64   `json:"memoryBytes"`
-	Recosts        int64   `json:"getPlanRecosts"`
-	Violations     int64   `json:"bcgViolations"`
-	ReadLockWaitUS int64   `json:"readLockWaitMicros"`
-	WriteLockWaitUS int64  `json:"writeLockWaitMicros"`
+	Template          string  `json:"template"`
+	Instances         int64   `json:"instances"`
+	NumOpt            int64   `json:"numOpt"`
+	OptPct            float64 `json:"optPct"`
+	SharedOptCalls    int64   `json:"sharedOptCalls"`
+	ReadPathHits      int64   `json:"readPathHits"`
+	WritePathHits     int64   `json:"writePathHits"`
+	Plans             int     `json:"plans"`
+	MemoryBytes       int64   `json:"memoryBytes"`
+	Recosts           int64   `json:"getPlanRecosts"`
+	Violations        int64   `json:"bcgViolations"`
+	ReadLockWaitUS    int64   `json:"readLockWaitMicros"`
+	WriteLockWaitUS   int64   `json:"writeLockWaitMicros"`
+	RecostCacheHits   int64   `json:"recostCacheHits"`
+	RecostCacheMisses int64   `json:"recostCacheMisses"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -362,8 +364,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			ReadPathHits: st.ReadPathHits, WritePathHits: st.WritePathHits,
 			Plans: st.CurPlans, MemoryBytes: st.MemoryBytes,
 			Recosts: st.GetPlanRecosts, Violations: st.Violations,
-			ReadLockWaitUS:  st.ReadLockWait.Microseconds(),
-			WriteLockWaitUS: st.WriteLockWait.Microseconds(),
+			ReadLockWaitUS:    st.ReadLockWait.Microseconds(),
+			WriteLockWaitUS:   st.WriteLockWait.Microseconds(),
+			RecostCacheHits:   st.RecostCacheHits,
+			RecostCacheMisses: st.RecostCacheMisses,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Template < out[j].Template })

@@ -254,6 +254,85 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecostCacheMetrics drives a real template engine through /plan and
+// asserts the recost result cache reports a nonzero hit rate: every /plan
+// response recosts the decided plan at the request's selectivity vector, so
+// a repeated identical request must be answered from the cache.
+func TestRecostCacheMetrics(t *testing.T) {
+	sys, err := pqo.NewSystem(pqo.TPCH(0.01), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := pqo.ParseTemplate("q", `
+		SELECT * FROM lineitem, orders
+		WHERE lineitem.l_orderkey = orders.o_orderkey
+		  AND lineitem.l_shipdate <= ?0
+		  AND orders.o_totalprice >= ?1`, sys.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sys.EngineFor(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := pqo.New(eng, pqo.WithLambda(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.Register("q", tpl.SQL(), eng, scr); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if w, _ := postPlan(t, h, PlanRequest{Template: "q", SVector: []float64{0.02, 0.1}}); w.Code != http.StatusOK {
+			t.Fatalf("/plan %d: status %d body %s", i, w.Code, w.Body)
+		}
+	}
+
+	hits, misses := eng.RecostCacheCounters()
+	if hits == 0 {
+		t.Errorf("recost cache hits = 0 (misses = %d), want > 0", misses)
+	}
+	if misses == 0 {
+		t.Errorf("recost cache misses = 0, want > 0 (first recost must miss)")
+	}
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := w.Body.String()
+	if got := promValue(t, body, `pqo_recost_cache_hits_total{template="q"}`); got != hits {
+		t.Errorf("/metrics recost cache hits = %d, want %d", got, hits)
+	}
+	if got := promValue(t, body, `pqo_recost_cache_misses_total{template="q"}`); got != misses {
+		t.Errorf("/metrics recost cache misses = %d, want %d", got, misses)
+	}
+	if got := promValue(t, body, `pqo_env_pool_gets_total{template="q"}`); got == 0 {
+		t.Error("/metrics env pool gets = 0, want > 0")
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var rows []StatsRow
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("/stats: %v", err)
+	}
+	if len(rows) != 1 || rows[0].RecostCacheHits != hits {
+		t.Errorf("/stats recost cache hits = %+v, want %d", rows, hits)
+	}
+
+	// Flushing drops entries but preserves counters; the next identical
+	// request misses once and repopulates.
+	eng.FlushRecostCache()
+	if w, _ := postPlan(t, h, PlanRequest{Template: "q", SVector: []float64{0.02, 0.1}}); w.Code != http.StatusOK {
+		t.Fatal("post-flush /plan failed")
+	}
+	_, misses2 := eng.RecostCacheCounters()
+	if misses2 <= misses {
+		t.Errorf("post-flush misses = %d, want > %d", misses2, misses)
+	}
+}
+
 func TestSnapshotDisabled(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	w := httptest.NewRecorder()

@@ -1,0 +1,26 @@
+package stats
+
+import "math"
+
+// fnv64 offset basis and prime (FNV-1a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashSVector returns a 64-bit FNV-1a hash over the exact bit patterns of a
+// selectivity vector. Equal vectors (bitwise, so -0 ≠ +0 and NaNs with
+// different payloads differ) hash equally; the hash is the selectivity half
+// of the recost result cache key (plan fingerprint, sv hash).
+func HashSVector(sv []float64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range sv {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= fnvPrime64
+			b >>= 8
+		}
+	}
+	return h
+}

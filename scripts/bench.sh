@@ -1,0 +1,70 @@
+#!/bin/sh
+# Microbenchmark driver for the optimizer/Recost hot path.
+#
+#   ./scripts/bench.sh              # run benches, write BENCH_PR2.json
+#   ./scripts/bench.sh -count 10    # extra flags forwarded to `go test`
+#                                   # (benchstat-friendly: pipe stdout of two
+#                                   #  runs into `benchstat old.txt new.txt`)
+#
+# Emits BENCH_PR2.json: the frozen pre-PR2 baseline (measured on the seed
+# map-based search + per-call Env construction) next to the numbers just
+# measured, so the trajectory of the hot path is recorded in-repo.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_PR2.json
+MEMO_TXT=$(mktemp)
+CORE_TXT=$(mktemp)
+trap 'rm -f "$MEMO_TXT" "$CORE_TXT"' EXIT
+
+go test ./internal/memo/ -run '^$' \
+    -bench 'BenchmarkOptimize$|BenchmarkRecost$|BenchmarkRecostTree$' \
+    -benchmem "$@" | tee "$MEMO_TXT"
+go test ./internal/core/ -run '^$' \
+    -bench 'BenchmarkProcessParallel' -cpu 8 -benchmem "$@" | tee "$CORE_TXT"
+
+awk '
+BEGIN {
+    # Pre-PR2 baseline, measured at the parent commit of this PR with the
+    # same benchmarks (3-way TPC-H template, cycling 8 selectivity vectors).
+    base["BenchmarkOptimize"]   = "11070 9802 141"
+    base["BenchmarkRecost"]     = "690 712 7"
+    base["BenchmarkRecostTree"] = "778 584 6"
+}
+/ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip the GOMAXPROCS suffix
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op" && (!(name in ns) || $(i-1) + 0 < ns[name])) {
+            ns[name] = $(i-1) + 0
+            for (j = i; j <= NF; j++) {
+                if ($(j) == "B/op")      bytes[name]  = $(j-1) + 0
+                if ($(j) == "allocs/op") allocs[name] = $(j-1) + 0
+            }
+        }
+    }
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"pr\": 2,\n"
+    printf "  \"note\": \"baseline = seed map-based search + per-call Env; current = flat-array search, pooled env, recost cache\",\n"
+    printf "  \"baseline\": {\n"
+    first = 1
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!(name in base)) continue
+        split(base[name], b, " ")
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, b[1], b[2], b[3]
+    }
+    printf "\n  },\n  \"current\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}", name, ns[name], bytes[name], allocs[name]
+        printf (i < n) ? ",\n" : "\n"
+    }
+    printf "  }\n}\n"
+}' "$MEMO_TXT" "$CORE_TXT" > "$OUT"
+
+echo "bench.sh: wrote $OUT"

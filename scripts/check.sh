@@ -17,6 +17,11 @@ go test -race ./internal/core/ ./internal/server/ ./internal/engine/ \
     ./internal/baselines/ ./internal/harness/ ./internal/memo/
 
 if [ "${1:-}" = "-bench" ]; then
+    # Fast smoke over the memo hot path first: a regression in Optimize/
+    # Recost cost or allocations shows up here in seconds (see docs/PERF.md
+    # and scripts/bench.sh for the full comparison workflow).
+    go test ./internal/memo/ -run '^$' -benchtime 100x -benchmem \
+        -bench 'BenchmarkOptimize$|BenchmarkRecost$'
     go test ./internal/core/ -run '^$' -bench BenchmarkProcessParallel -cpu 8
     go test ./internal/server/ -run '^$' -bench BenchmarkServerParallel -cpu 8
 fi
