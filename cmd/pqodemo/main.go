@@ -94,7 +94,7 @@ func main() {
 	// Sub-optimality audit against ground truth.
 	seq := &workload.Sequence{Name: "demo", Tpl: entry.Tpl, Instances: insts}
 	scr2, _ := core.NewSCR(eng, core.Config{Lambda: *lambda, DetectViolations: true})
-	res, err := harness.Run(eng, scr2, seq, harness.Options{Lambda: *lambda})
+	res, err := harness.Run(context.Background(), eng, scr2, seq, harness.Options{Lambda: *lambda})
 	if err != nil {
 		fatal(err)
 	}

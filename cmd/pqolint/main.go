@@ -1,0 +1,68 @@
+// Command pqolint runs the project's invariant analyzers (docs/LINT.md)
+// over Go packages.
+//
+// Two modes share one binary:
+//
+//	pqolint ./...              # standalone: re-execs `go vet -vettool=pqolint <patterns>`
+//	go vet -vettool=$(which pqolint) ./...   # vet tool: unitchecker protocol
+//
+// The go command's vet driver handles package loading, export data and
+// caching, so standalone mode simply re-invokes itself through it. With no
+// arguments, ./... is assumed.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetMode(args) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+	os.Exit(standalone(args))
+}
+
+// vetMode reports whether the invocation follows the unitchecker protocol:
+// a single *.cfg argument (per-package analysis unit) or flag arguments
+// such as -V=full (version handshake) and -flags.
+func vetMode(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-executes the binary through `go vet -vettool` so the go
+// command performs package loading and caching.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqolint: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "pqolint: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -118,7 +119,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := harness.Run(eng, tech, seq, harness.Options{Lambda: *lambda})
+	res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{Lambda: *lambda})
 	if err != nil {
 		fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -97,7 +98,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -35,6 +35,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Decision, 
 		g.m = make(map[string]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
+		//lint:allow lockdiscipline singleflight must release before blocking on the leader's done channel
 		g.mu.Unlock()
 		select {
 		case <-c.done:

@@ -255,7 +255,7 @@ func (s *SCR) Stats() Stats {
 // back to per-call Engine.Recost.
 func (s *SCR) prepareRecost(sv []float64) *engine.PreparedInstance {
 	if be, ok := s.eng.(BatchEngine); ok {
-		if pi, err := be.PrepareRecost(sv); err == nil {
+		if pi, err := be.PrepareRecost(sv); err == nil { //lint:allow envpool hand-off helper: every caller pairs prepareRecost with a deferred Release
 			return pi
 		}
 	}
@@ -367,8 +367,19 @@ func (s *SCR) maybeResort() {
 		return
 	}
 	s.lock()
+	defer s.mu.Unlock()
 	s.resortInstances()
-	s.mu.Unlock()
+}
+
+// snapshot captures the (instance list, cache version) pair under the read
+// lock. The lock is held only for the capture: entries are immutable after
+// insertion apart from their atomic fields, and every mutation that reorders
+// or removes entries replaces the slice, so the returned snapshot stays
+// valid for lock-free scanning (see readPath).
+func (s *SCR) snapshot() ([]*instanceEntry, int64) {
+	s.rlock()
+	defer s.mu.RUnlock()
+	return s.instances, s.version.Load()
 }
 
 // readPath runs getPlan under the shared read lock, returning the cache
@@ -379,14 +390,8 @@ func (s *SCR) readPath(ctx context.Context, sv []float64) (*Decision, int64, err
 	// (instance list, version) snapshot; the O(instances) scan itself runs
 	// lock-free. Holding the read lock across the scan would let a single
 	// waiting writer convoy every other reader behind it (Go's RWMutex
-	// blocks new readers once a writer is queued). The snapshot stays
-	// valid because entries are immutable after insertion apart from
-	// their atomic fields, and every mutation that reorders or removes
-	// entries replaces the slice instead of editing it in place.
-	s.rlock()
-	insts := s.instances
-	ver := s.version.Load()
-	s.mu.RUnlock()
+	// blocks new readers once a writer is queued).
+	insts, ver := s.snapshot()
 	dec, err := s.getPlan(ctx, sv, insts)
 	return dec, ver, err
 }
@@ -631,9 +636,7 @@ func (s *SCR) evictLFU() {
 // snapshot of the instance list and is safe to call concurrently with
 // Process.
 func (s *SCR) ProbeCheck(sv []float64) Check {
-	s.rlock()
-	insts := s.instances
-	s.mu.RUnlock()
+	insts, _ := s.snapshot()
 	type cand struct {
 		e  *instanceEntry
 		gl float64

@@ -114,6 +114,16 @@ func (e *TemplateEngine) RecostCacheCounters() (hits, misses int64) {
 	return e.rc.counters()
 }
 
+// SetStats swaps the optimizer's statistics store (a statistics reload) and
+// flushes the recost result cache: cached costs are valid only for the
+// statistics they were computed under. Swapping the store any other way
+// leaves stale costs behind — the cacheinvalidation analyzer enforces this
+// pairing (docs/LINT.md).
+func (e *TemplateEngine) SetStats(st *stats.Store) {
+	e.Opt.Stats = st
+	e.FlushRecostCache()
+}
+
 // FlushRecostCache drops every cached recost result. Cached costs are
 // deterministic in (plan, sv, statistics), so the only invalidation event
 // is a statistics reload — call this whenever the engine's stats store is

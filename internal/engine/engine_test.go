@@ -64,6 +64,47 @@ func TestEngineOptimizeAndRecost(t *testing.T) {
 	}
 }
 
+func TestSetStatsFlushesRecostCache(t *testing.T) {
+	sys, tpl := testSystem(t)
+	eng, err := sys.EngineFor(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := []float64{0.05, 0.1}
+	cp, _, err := eng.Optimize(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First recost fills the cache; the second must hit it.
+	if _, err := eng.Recost(cp, sv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Recost(cp, sv); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := eng.RecostCacheCounters()
+	if hits == 0 {
+		t.Fatal("expected a recost-cache hit before the stats swap")
+	}
+
+	// Swap in a statistics store built from different data: the swap must
+	// flush the cache, so the next identical recost misses.
+	sys2, err := NewSystem(catalog.NewTPCH(0.1), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetStats(sys2.Stats)
+	_, missesBefore := eng.RecostCacheCounters()
+	if _, err := eng.Recost(cp, sv); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := eng.RecostCacheCounters()
+	if missesAfter != missesBefore+1 {
+		t.Errorf("recost after SetStats hit the cache (misses %d -> %d); stale cost served",
+			missesBefore, missesAfter)
+	}
+}
+
 func TestEngineTimingAccounting(t *testing.T) {
 	sys, tpl := testSystem(t)
 	eng, err := sys.EngineFor(tpl)

@@ -31,12 +31,14 @@ var preparedPool = sync.Pool{New: func() any { return new(PreparedInstance) }}
 // vector. The returned instance borrows sv — the caller must not mutate it
 // until Release.
 func (e *TemplateEngine) PrepareRecost(sv []float64) (*PreparedInstance, error) {
+	//lint:allow envpool pool manager: PreparedInstance owns the env until its own Release
 	env, err := e.Opt.PrepareEnv(e.Tpl, sv)
 	if err != nil {
 		return nil, err
 	}
 	pi := preparedPool.Get().(*PreparedInstance)
 	pi.eng = e
+	//lint:allow envpool pool manager: Release returns this env to the pool
 	pi.env = env
 	pi.sv = sv
 	pi.svh = stats.HashSVector(sv)

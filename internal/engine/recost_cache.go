@@ -60,12 +60,17 @@ func svEqual(a, b []float64) bool {
 	return true
 }
 
+// lookup reads one entry under the shard's read lock.
+func (s *recostShard) lookup(k recostKey) (recostEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[k]
+	return e, ok
+}
+
 // get returns the cached cost for (fp, sv), verifying the stored vector.
 func (c *recostCache) get(k recostKey, sv []float64) (float64, bool) {
-	s := c.shardFor(k)
-	s.mu.RLock()
-	e, ok := s.m[k]
-	s.mu.RUnlock()
+	e, ok := c.shardFor(k).lookup(k)
 	if ok && svEqual(e.sv, sv) {
 		c.hits.Add(1)
 		return e.cost, true

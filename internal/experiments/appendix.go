@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/workload"
@@ -70,7 +71,7 @@ func (r *Runner) AppD(m int) ([]AppDRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +142,7 @@ func (r *Runner) AppE(m int) ([]AppERow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +198,7 @@ func (r *Runner) AblationCandOrder(m int) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{Lambda: 2})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{Lambda: 2})
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +265,7 @@ func (r *Runner) AblationGLOrdering(m int) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -95,7 +96,7 @@ func (r *Runner) HybridStudy(m, grid int) ([]HybridRow, error) {
 				}
 			}
 		}
-		res, err := harness.Run(eng, scr, seq, harness.Options{Lambda: lambda})
+		res, err := harness.Run(context.Background(), eng, scr, seq, harness.Options{Lambda: lambda})
 		if err != nil {
 			return err
 		}

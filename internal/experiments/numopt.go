@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -163,7 +164,7 @@ func (r *Runner) growthExperiment(title string, e suite.Entry, ms []int, fs []Fa
 			if err != nil {
 				return nil, err
 			}
-			res, err := harness.Run(eng, tech, seq, harness.Options{})
+			res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +239,7 @@ func (r *Runner) Fig12() ([]DimPoint, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := harness.Run(eng, tech, seq, harness.Options{})
+				res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{})
 				if err != nil {
 					return nil, err
 				}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -128,10 +129,7 @@ func (r *Runner) preparedSet(e suite.Entry, m int) ([]workload.Instance, *engine
 		return nil, nil, err
 	}
 	key := fmt.Sprintf("%s/%d", e.Tpl.Name, m)
-	r.mu.Lock()
-	set, ok := r.prepared[key]
-	r.mu.Unlock()
-	if ok {
+	if set, ok := r.cachedSet(key); ok {
 		return set, eng, nil
 	}
 	base, err := workload.GenerateSet(e.Tpl.Dimensions(), m, r.cfg.Seed+int64(len(e.Tpl.Name)))
@@ -142,10 +140,23 @@ func (r *Runner) preparedSet(e suite.Entry, m int) ([]workload.Instance, *engine
 	if err != nil {
 		return nil, nil, err
 	}
-	r.mu.Lock()
-	r.prepared[key] = base
-	r.mu.Unlock()
+	r.storeSet(key, base)
 	return base, eng, nil
+}
+
+// cachedSet reads a prepared instance set under the lock.
+func (r *Runner) cachedSet(key string) ([]workload.Instance, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set, ok := r.prepared[key]
+	return set, ok
+}
+
+// storeSet records a prepared instance set under the lock.
+func (r *Runner) storeSet(key string, set []workload.Instance) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prepared[key] = set
 }
 
 // Sequences yields every (template × ordering) sequence at the configured M.
@@ -252,7 +263,7 @@ func (r *Runner) RunTechnique(f Factory, seqs []*SeqCtx, opts harness.Options) (
 			if err != nil {
 				return nil, err
 			}
-			res, err := harness.Run(sc.Eng, tech, sc.Seq, opts)
+			res, err := harness.Run(context.Background(), sc.Eng, tech, sc.Seq, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -278,7 +289,7 @@ func (r *Runner) RunTechnique(f Factory, seqs []*SeqCtx, opts harness.Options) (
 				errs[i] = err
 				return
 			}
-			res, err := harness.Run(sc.Eng, tech, sc.Seq, opts)
+			res, err := harness.Run(context.Background(), sc.Eng, tech, sc.Seq, opts)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -95,7 +96,7 @@ func (r *Runner) ViolationStudy(m int) ([]ViolationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{Lambda: lambda})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{Lambda: lambda})
 		if err != nil {
 			return nil, err
 		}

@@ -58,9 +58,9 @@ type Options struct {
 
 // Run processes seq through tech, using eng to evaluate the true cost of
 // each chosen plan. Ground-truth optimal costs must be present on the
-// sequence (workload.Prepare).
-func Run(eng core.Engine, tech core.Technique, seq *workload.Sequence, opts Options) (*Result, error) {
-	ctx := context.Background()
+// sequence (workload.Prepare). Cancelling ctx aborts the run at the next
+// instance boundary via the technique's own Process cancellation.
+func Run(ctx context.Context, eng core.Engine, tech core.Technique, seq *workload.Sequence, opts Options) (*Result, error) {
 	if len(seq.Instances) == 0 {
 		return nil, fmt.Errorf("harness: empty sequence %s", seq.Name)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func newRandomEngine(t *testing.T, seed int64, d, plans int) *pqotest.Engine {
 func TestRunOptAlwaysIsOptimal(t *testing.T) {
 	eng := newRandomEngine(t, 1, 3, 8)
 	seq := fakeSequence(t, eng, 100, 2)
-	res, err := Run(eng, baselines.NewOptAlways(eng), seq, Options{})
+	res, err := Run(context.Background(), eng, baselines.NewOptAlways(eng), seq, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRunSCRRespectsBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(eng, scr, seq, Options{Lambda: 2, RetainSOs: true})
+	res, err := Run(context.Background(), eng, scr, seq, Options{Lambda: 2, RetainSOs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestRunSCRRespectsBound(t *testing.T) {
 func TestRunRequiresGroundTruth(t *testing.T) {
 	eng := newRandomEngine(t, 5, 2, 4)
 	seq := &workload.Sequence{Name: "raw", Instances: []workload.Instance{{SV: []float64{0.1, 0.1}}}}
-	if _, err := Run(eng, baselines.NewOptAlways(eng), seq, Options{}); err == nil {
+	if _, err := Run(context.Background(), eng, baselines.NewOptAlways(eng), seq, Options{}); err == nil {
 		t.Error("unprepared sequence should fail")
 	}
 	empty := &workload.Sequence{Name: "empty"}
-	if _, err := Run(eng, baselines.NewOptAlways(eng), empty, Options{}); err == nil {
+	if _, err := Run(context.Background(), eng, baselines.NewOptAlways(eng), empty, Options{}); err == nil {
 		t.Error("empty sequence should fail")
 	}
 }
@@ -172,7 +173,7 @@ func TestHeuristicsCanExceedBoundWhereSCRDoesNot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resRanges, err := Run(eng, ranges, seq, Options{})
+	resRanges, err := Run(context.Background(), eng, ranges, seq, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestHeuristicsCanExceedBoundWhereSCRDoesNot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resSCR, err := Run(eng, scr, seq, Options{Lambda: 1.5})
+	resSCR, err := Run(context.Background(), eng, scr, seq, Options{Lambda: 1.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestViaCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(eng, scr, seq, Options{})
+	res, err := Run(context.Background(), eng, scr, seq, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

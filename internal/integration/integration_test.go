@@ -4,6 +4,7 @@
 package integration
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -58,7 +59,7 @@ func TestSuiteWideGuaranteeAudit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := harness.Run(eng, tech, seq, harness.Options{Lambda: lambda})
+		res, err := harness.Run(context.Background(), eng, tech, seq, harness.Options{Lambda: lambda})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Tpl.Name, err)
 		}

@@ -1,0 +1,68 @@
+// Fixture for the cacheinvalidation analyzer: stats/catalog swaps on
+// cost-owning types must be post-dominated by a recost-cache flush.
+package a
+
+type Store struct{ N int }
+
+type Optimizer struct {
+	Stats *Store
+	Cat   *Store
+}
+
+type TemplateEngine struct {
+	Opt *Optimizer
+}
+
+func (e *TemplateEngine) FlushRecostCache() {}
+
+// goodSwapThenFlush is the required pattern.
+func goodSwapThenFlush(e *TemplateEngine, st *Store) {
+	e.Opt.Stats = st
+	e.FlushRecostCache()
+}
+
+// goodSwapFlushBothPaths flushes on every path.
+func goodSwapFlushBothPaths(e *TemplateEngine, st *Store, cond bool) {
+	e.Opt.Stats = st
+	if cond {
+		e.FlushRecostCache()
+		return
+	}
+	e.FlushRecostCache()
+}
+
+// badSwapNoFlush leaves stale cached costs behind.
+func badSwapNoFlush(e *TemplateEngine, st *Store) {
+	e.Opt.Stats = st // want `Stats swapped without FlushRecostCache`
+}
+
+// badSwapFlushOneBranch misses the else path.
+func badSwapFlushOneBranch(e *TemplateEngine, st *Store, cond bool) {
+	e.Opt.Stats = st // want `Stats swapped without FlushRecostCache`
+	if cond {
+		e.FlushRecostCache()
+	}
+}
+
+// badCatalogSwap: the catalog reference is cost-bearing too.
+func badCatalogSwap(o *Optimizer, c *Store) {
+	o.Cat = c // want `Cat swapped without FlushRecostCache`
+}
+
+// goodUnrelatedField: only Stats/Cat/Catalog swaps are tracked.
+func goodUnrelatedField(e *TemplateEngine, o *Optimizer) {
+	e.Opt = o
+}
+
+// goodNonOwnerType: a Stats field on a non-cost-owning type is fine.
+type metrics struct{ Stats *Store }
+
+func goodNonOwnerType(m *metrics, st *Store) {
+	m.Stats = st
+}
+
+// allowedSwap is the audited constructor-time pattern: nothing cached yet.
+func allowedSwap(e *TemplateEngine, st *Store) {
+	//lint:allow cacheinvalidation constructor path; cache is still empty
+	e.Opt.Stats = st
+}

@@ -1,0 +1,12 @@
+package costdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/costdeterminism"
+	"repro/internal/lint/linttest"
+)
+
+func TestCostDeterminism(t *testing.T) {
+	linttest.Run(t, costdeterminism.Analyzer, "cost", "other")
+}

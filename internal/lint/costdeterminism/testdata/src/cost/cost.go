@@ -1,0 +1,80 @@
+// Fixture for the costdeterminism analyzer: package path contains "cost", so
+// it is in scope.
+package cost
+
+import (
+	"math/rand" // want `math/rand imported in a cost-bearing package`
+	"sort"
+	"strings"
+	"time"
+)
+
+// badFloatAccum sums costs in map order: not reproducible.
+func badFloatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `map iteration feeds float accumulation`
+	}
+	return total
+}
+
+// badFloatAccumExplicit uses x = x + y form.
+func badFloatAccumExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `map iteration feeds float accumulation`
+	}
+	return total
+}
+
+// badFingerprint builds a fingerprint in map order.
+func badFingerprint(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `map iteration feeds WriteString`
+	}
+	return sb.String()
+}
+
+// goodSortedKeys is the required idiom: deterministic order.
+func goodSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// goodIntAccum: integer accumulation is exact and commutative.
+func goodIntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// badWallClock stamps costs with the wall clock.
+func badWallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a cost-bearing package`
+}
+
+// badRand perturbs costs randomly.
+func badRand() float64 {
+	return rand.Float64()
+}
+
+// allowedAccum is the audited exception pattern.
+func allowedAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:allow costdeterminism debug-only aggregate, never cached or fingerprinted
+		total += v
+	}
+	return total
+}

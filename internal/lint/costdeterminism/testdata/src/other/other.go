@@ -1,0 +1,17 @@
+// Fixture proving scope gating: "other" is not a cost-bearing package, so
+// nothing here is flagged.
+package other
+
+import "time"
+
+func WallClockIsFineHere() int64 {
+	return time.Now().UnixNano()
+}
+
+func MapOrderIsFineHere(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

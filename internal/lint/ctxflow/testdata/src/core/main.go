@@ -1,0 +1,9 @@
+// Fixture proving the package-main exemption: creating the root context is
+// main's job, even in an in-scope directory.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

@@ -1,0 +1,32 @@
+// Fixture for the ctxflow analyzer: "server" is a request-path package.
+package server
+
+import "context"
+
+// goodThreaded accepts the caller's context.
+func goodThreaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// badBackground conjures a root context mid-path.
+func badBackground() error {
+	ctx := context.Background() // want `context.Background\(\) on a request path severs cancellation`
+	return work(ctx)
+}
+
+// badTODO is no better.
+func badTODO() error {
+	return work(context.TODO()) // want `context.TODO\(\) on a request path severs cancellation`
+}
+
+// allowedBackground is the audited detached-work pattern.
+func allowedBackground() error {
+	//lint:allow ctxflow detached janitor work must outlive the request
+	ctx := context.Background()
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,8 @@
+// Fixture proving scope gating: "tools" is not a request-path package.
+package tools
+
+import "context"
+
+func BackgroundIsFineHere() context.Context {
+	return context.Background()
+}

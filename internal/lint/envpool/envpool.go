@@ -1,0 +1,474 @@
+// Package envpool checks the pooled-resource discipline of the recost hot
+// path: every acquisition of a pooled selectivity environment (*memo.Env via
+// PrepareEnv) or batched recosting context (*engine.PreparedInstance via
+// PrepareRecost) must be paired with its release on every path to function
+// exit, and the pooled value must not escape the acquiring function into
+// struct fields, goroutines, channels, composite literals or return values —
+// any of which permits use-after-release, the failure mode sync.Pool turns
+// into silent data corruption (docs/PERF.md).
+package envpool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "envpool",
+	Doc: "check that pooled memo.Env / engine.PreparedInstance values are " +
+		"released on every path and never escape the acquiring function",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// pooledType reports whether t is one of the pooled hot-path types:
+// *memo.Env or *engine.PreparedInstance (package matched by final path
+// segment so analysis fixtures can declare local stubs).
+func pooledType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "Env":
+		return lintutil.PkgInScope(obj.Pkg().Path(), []string{"memo"})
+	case "PreparedInstance":
+		return lintutil.PkgInScope(obj.Pkg().Path(), []string{"engine"})
+	}
+	return false
+}
+
+// acquisition is one tracked `x[, err] := ...Prepare...(...)` site.
+type acquisition struct {
+	assign *ast.AssignStmt
+	obj    types.Object // the pooled variable
+	errObj types.Object // the paired error variable, if any
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	lintutil.ReportAllowMisuse(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var g *cfg.CFG
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+			g = cfgs.FuncDecl(fn)
+		case *ast.FuncLit:
+			body = fn.Body
+			g = cfgs.FuncLit(fn)
+		}
+		if body == nil || g == nil {
+			return
+		}
+		checkFunc(pass, body, g)
+	})
+	return nil, nil
+}
+
+// checkFunc runs the pairing and escape checks over one function body.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+	acqs := findAcquisitions(pass, body)
+	if len(acqs) == 0 {
+		return
+	}
+	for _, acq := range acqs {
+		checkEscapes(pass, body, acq)
+		checkReleased(pass, body, g, acq, acqs)
+		checkUseAfterRelease(pass, g, acq)
+	}
+}
+
+// acquirers are the pool entry points (and the repo's unexported wrappers
+// around them). Plain constructors such as NewEnv return unpooled values
+// with ordinary GC lifetimes, so only these names start the pairing check.
+var acquirers = map[string]bool{
+	"PrepareEnv": true, "PrepareRecost": true,
+	"prepareEnv": true, "prepareRecost": true,
+}
+
+// findAcquisitions collects assignments whose RHS call yields a pooled value,
+// skipping nested function literals (they get their own checkFunc pass).
+func findAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []acquisition {
+	var out []acquisition
+	inspectShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !acquirers[calleeName(call)] {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !pooledType(obj.Type()) {
+				continue
+			}
+			acq := acquisition{assign: as, obj: obj}
+			// Remember the paired error variable of `x, err := ...` so the
+			// release check can exempt the acquisition-failure branch.
+			for j, other := range as.Lhs {
+				if j == i {
+					continue
+				}
+				if oid, ok := other.(*ast.Ident); ok && oid.Name != "_" {
+					if oobj := objOf(pass, oid); oobj != nil && isErrorType(oobj.Type()) {
+						acq.errObj = oobj
+					}
+				}
+			}
+			out = append(out, acq)
+		}
+	})
+	return out
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isErrorType(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error"
+}
+
+// inspectShallow walks body without descending into nested function
+// literals.
+func inspectShallow(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+// usesObj reports whether n mentions acq's pooled variable.
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isReleaseOf reports whether n (or a call within it) releases obj:
+// obj.Release() or <any>.ReleaseEnv(obj) / ReleaseEnv(obj).
+func isReleaseOf(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		name := calleeName(call)
+		switch name {
+		case "Release":
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+		case "ReleaseEnv":
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkReleased verifies that every path from the acquisition to function
+// exit passes a release of the pooled value. A deferred release anywhere in
+// the function satisfies the check (the repo idiom defers immediately after
+// acquiring); the error branch of the acquisition's own `if err != nil`
+// check is exempt because a failed Prepare returns no pooled value.
+func checkReleased(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG, acq acquisition, all []acquisition) {
+	obj := acq.obj
+	// Deferred release (directly or inside a deferred closure)?
+	deferred := false
+	inspectDefers(body, func(d *ast.DeferStmt) {
+		if isReleaseOf(pass, d.Call, obj) {
+			deferred = true
+		}
+	})
+	if !deferred {
+		// Deferred closures: defer func() { ... Release ... }().
+		ast.Inspect(body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok && isReleaseOf(pass, d.Call, obj) {
+				deferred = true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if parentIsDefer(body, lit) && isReleaseOf(pass, lit.Body, obj) {
+					deferred = true
+				}
+			}
+			return !deferred
+		})
+	}
+	if deferred {
+		return
+	}
+
+	blk, idx, ok := lintutil.FindNode(g, acq.assign)
+	if !ok {
+		return
+	}
+	stop := func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false // non-matching defer; matching ones handled above
+		}
+		return isReleaseOf(pass, n, obj)
+	}
+	// Re-acquisition into the same variable bounds the walk: a loop body
+	// that re-prepares each iteration is checked from each acquisition.
+	boundary := func(n ast.Node) bool {
+		for _, other := range all {
+			if other.assign == n && other.obj == obj && other.assign != acq.assign {
+				return true
+			}
+		}
+		return n == acq.assign
+	}
+	skip := errBranchSkipper(pass, acq)
+	if pos, leak := lintutil.LeaksToExit(blk, idx+1, stop, skip, boundary); leak {
+		at := acq.assign.Pos()
+		detail := ""
+		if pos.IsValid() {
+			p := pass.Fset.Position(pos)
+			detail = " (path escaping near line " + itoa(p.Line) + ")"
+		}
+		lintutil.Report(pass, at, "pooled %s acquired here may not be released on every path%s; release it or defer the release", obj.Name(), detail)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func inspectDefers(body *ast.BlockStmt, f func(*ast.DeferStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			f(d)
+		}
+		return true
+	})
+}
+
+func parentIsDefer(body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	is := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok && fl == lit {
+				is = true
+			}
+		}
+		return !is
+	})
+	return is
+}
+
+// errBranchSkipper exempts the `if err != nil` failure branch of the
+// acquisition itself: on that path Prepare returned no pooled value.
+func errBranchSkipper(pass *analysis.Pass, acq acquisition) func(from, to *cfg.Block) bool {
+	if acq.errObj == nil {
+		return nil
+	}
+	return func(from, to *cfg.Block) bool {
+		ifStmt, ok := to.Stmt.(*ast.IfStmt)
+		if !ok {
+			return false
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		var errSide ast.Expr
+		if isNil(pass, bin.Y) {
+			errSide = bin.X
+		} else if isNil(pass, bin.X) {
+			errSide = bin.Y
+		} else {
+			return false
+		}
+		id, ok := errSide.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != acq.errObj {
+			return false
+		}
+		switch {
+		case bin.Op == token.NEQ && to.Kind == cfg.KindIfThen:
+			return true // if err != nil { <failure> }
+		case bin.Op == token.EQL && to.Kind == cfg.KindIfElse:
+			return true // if err == nil { ok } else { <failure> }
+		}
+		return false
+	}
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// checkEscapes flags stores of the pooled value into places that outlive the
+// acquiring call: struct fields / slice or map elements, channel sends,
+// composite literals, return values, and goroutine captures.
+func checkEscapes(pass *analysis.Pass, body *ast.BlockStmt, acq acquisition) {
+	obj := acq.obj
+	inspectShallow(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Uses[id] != obj {
+					continue
+				}
+				if i >= len(s.Lhs) {
+					continue
+				}
+				switch s.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					lintutil.Report(pass, s.Pos(), "pooled %s escapes into a struct field; it may be reused after release", obj.Name())
+				case *ast.IndexExpr:
+					lintutil.Report(pass, s.Pos(), "pooled %s escapes into a slice or map element; it may be reused after release", obj.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := s.Value.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				lintutil.Report(pass, s.Pos(), "pooled %s escapes through a channel send", obj.Name())
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if id, ok := res.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					lintutil.Report(pass, s.Pos(), "pooled %s escapes via return; the caller cannot know it must release it", obj.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					lintutil.Report(pass, s.Pos(), "pooled %s escapes into a composite literal", obj.Name())
+				}
+			}
+		case *ast.GoStmt:
+			// A closure callee is handled by the dedicated pass below; here
+			// only the arguments (and a non-literal callee) count.
+			target := ast.Node(s.Call)
+			if _, isLit := s.Call.Fun.(*ast.FuncLit); isLit {
+				found := false
+				for _, arg := range s.Call.Args {
+					if usesObj(pass, arg, obj) {
+						found = true
+					}
+				}
+				if !found {
+					target = nil
+				}
+			}
+			if target != nil && usesObj(pass, target, obj) {
+				lintutil.Report(pass, s.Pos(), "pooled %s captured by a goroutine; it may be released while the goroutine runs", obj.Name())
+			}
+		}
+	})
+	// Goroutine closures: go func() { ... obj ... }().
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && usesObj(pass, lit.Body, obj) {
+			lintutil.Report(pass, g.Pos(), "pooled %s captured by a goroutine closure; it may be released while the goroutine runs", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkUseAfterRelease flags statements that read the pooled value after a
+// non-deferred release in the same basic block (the straight-line case; see
+// docs/LINT.md for what this deliberately does not catch).
+func checkUseAfterRelease(pass *analysis.Pass, g *cfg.CFG, acq acquisition) {
+	obj := acq.obj
+	for _, blk := range g.Blocks {
+		released := -1
+		for i, nd := range blk.Nodes {
+			if _, isDefer := nd.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			if released >= 0 && nd != acq.assign && usesObj(pass, nd, obj) {
+				lintutil.Report(pass, nd.Pos(), "pooled %s used after release", obj.Name())
+				break
+			}
+			if isReleaseOf(pass, nd, obj) {
+				released = i
+			}
+		}
+	}
+}

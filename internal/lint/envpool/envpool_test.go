@@ -1,0 +1,12 @@
+package envpool_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/envpool"
+	"repro/internal/lint/linttest"
+)
+
+func TestEnvPool(t *testing.T) {
+	linttest.Run(t, envpool.Analyzer, "a")
+}

@@ -1,0 +1,142 @@
+// Fixture exercising the envpool analyzer: pooled values must be released
+// on every path and must not escape the acquiring function.
+package a
+
+import (
+	"engine"
+	"memo"
+)
+
+type holder struct {
+	env *memo.Env
+	pi  *engine.PreparedInstance
+}
+
+// goodDefer releases via defer: the repo idiom.
+func goodDefer(o *memo.Optimizer) error {
+	e, err := o.PrepareEnv(3)
+	if err != nil {
+		return err
+	}
+	defer o.ReleaseEnv(e)
+	use(e)
+	return nil
+}
+
+// goodManualAllPaths releases manually on every path.
+func goodManualAllPaths(eng *engine.TemplateEngine, cond bool) error {
+	pi, err := eng.PrepareRecost(nil)
+	if err != nil {
+		return err
+	}
+	if cond {
+		_, _ = pi.Recost(1)
+		pi.Release()
+		return nil
+	}
+	pi.Release()
+	return nil
+}
+
+// goodLoopReacquire re-prepares per iteration, releasing before the next.
+func goodLoopReacquire(eng *engine.TemplateEngine, n int) {
+	for i := 0; i < n; i++ {
+		pi, err := eng.PrepareRecost(nil)
+		if err != nil {
+			return
+		}
+		_, _ = pi.Recost(i)
+		pi.Release()
+	}
+}
+
+// badLeakOnBranch forgets the release on the early-return branch.
+func badLeakOnBranch(eng *engine.TemplateEngine, cond bool) error {
+	pi, err := eng.PrepareRecost(nil) // want `pooled pi acquired here may not be released on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks pi
+	}
+	pi.Release()
+	return nil
+}
+
+// badNeverReleased never releases at all.
+func badNeverReleased(o *memo.Optimizer) error {
+	e, err := o.PrepareEnv(2) // want `pooled e acquired here may not be released on every path`
+	if err != nil {
+		return err
+	}
+	use(e)
+	return nil
+}
+
+// badFieldEscape stores the pooled value into a struct field.
+func badFieldEscape(o *memo.Optimizer, h *holder) {
+	e, err := o.PrepareEnv(2)
+	if err != nil {
+		return
+	}
+	defer o.ReleaseEnv(e)
+	h.env = e // want `pooled e escapes into a struct field`
+}
+
+// badReturnEscape hands the pooled value to a caller that cannot know the
+// release contract.
+func badReturnEscape(eng *engine.TemplateEngine) *engine.PreparedInstance {
+	pi, err := eng.PrepareRecost(nil)
+	if err != nil {
+		return nil
+	}
+	defer pi.Release()
+	return pi // want `pooled pi escapes via return`
+}
+
+// badGoroutineCapture races the release against a goroutine still using the
+// value.
+func badGoroutineCapture(eng *engine.TemplateEngine) {
+	pi, err := eng.PrepareRecost(nil)
+	if err != nil {
+		return
+	}
+	defer pi.Release()
+	go func() { // want `pooled pi captured by a goroutine`
+		_, _ = pi.Recost(1)
+	}()
+}
+
+// badUseAfterRelease reads the pooled value after returning it to the pool.
+func badUseAfterRelease(eng *engine.TemplateEngine) {
+	pi, err := eng.PrepareRecost(nil)
+	if err != nil {
+		return
+	}
+	_, _ = pi.Recost(1)
+	pi.Release()
+	_, _ = pi.Recost(2) // want `pooled pi used after release`
+}
+
+// badCompositeEscape stores the pooled value into a composite literal.
+func badCompositeEscape(o *memo.Optimizer) {
+	e, err := o.PrepareEnv(1)
+	if err != nil {
+		return
+	}
+	defer o.ReleaseEnv(e)
+	_ = holder{env: e} // want `pooled e escapes into a composite literal`
+}
+
+// allowedEscape is the pool manager pattern: audited via lint:allow.
+func allowedEscape(o *memo.Optimizer, h *holder) {
+	e, err := o.PrepareEnv(2)
+	if err != nil {
+		return
+	}
+	defer o.ReleaseEnv(e)
+	//lint:allow envpool pool manager owns the env lifecycle
+	h.env = e
+}
+
+func use(e *memo.Env) {}

@@ -1,0 +1,15 @@
+// Package engine is a fixture stub of repro/internal/engine: just enough
+// surface for the envpool analyzer's type matching.
+package engine
+
+type PreparedInstance struct{ N int }
+
+func (pi *PreparedInstance) Release() {}
+
+func (pi *PreparedInstance) Recost(x int) (float64, error) { return 0, nil }
+
+type TemplateEngine struct{}
+
+func (e *TemplateEngine) PrepareRecost(sv []float64) (*PreparedInstance, error) {
+	return &PreparedInstance{}, nil
+}

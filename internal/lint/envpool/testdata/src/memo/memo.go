@@ -1,0 +1,11 @@
+// Package memo is a fixture stub of repro/internal/memo: just enough
+// surface for the envpool analyzer's type matching.
+package memo
+
+type Env struct{ X int }
+
+type Optimizer struct{}
+
+func (o *Optimizer) PrepareEnv(dims int) (*Env, error) { return &Env{}, nil }
+
+func (o *Optimizer) ReleaseEnv(e *Env) {}

@@ -1,0 +1,113 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/lintutil"
+)
+
+// newPass builds a minimal pass over src for an analyzer with the given name,
+// collecting diagnostics into the returned slice pointer.
+func newPass(t *testing.T, name, src string) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: name},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	return pass, &diags
+}
+
+// posOf returns the position of the first occurrence of needle in the file.
+func posOf(t *testing.T, pass *analysis.Pass, src, needle string) token.Pos {
+	t.Helper()
+	off := strings.Index(src, needle)
+	if off < 0 {
+		t.Fatalf("%q not in source", needle)
+	}
+	return pass.Fset.File(pass.Files[0].Pos()).Pos(off)
+}
+
+func TestAllowSuppressesSameLine(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\tbad() //lint:allow mylint audited\n}\n\nfunc bad() {}\n"
+	pass, diags := newPass(t, "mylint", src)
+	lintutil.Report(pass, posOf(t, pass, src, "bad()"), "flagged")
+	if len(*diags) != 0 {
+		t.Fatalf("same-line allow did not suppress: %v", *diags)
+	}
+}
+
+func TestAllowSuppressesNextLine(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:allow mylint audited\n\tbad()\n}\n\nfunc bad() {}\n"
+	pass, diags := newPass(t, "mylint", src)
+	lintutil.Report(pass, posOf(t, pass, src, "bad()"), "flagged")
+	if len(*diags) != 0 {
+		t.Fatalf("above-line allow did not suppress: %v", *diags)
+	}
+}
+
+func TestAllowOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\tbad() //lint:allow otherlint audited\n}\n\nfunc bad() {}\n"
+	pass, diags := newPass(t, "mylint", src)
+	lintutil.Report(pass, posOf(t, pass, src, "bad()"), "flagged")
+	if len(*diags) != 1 {
+		t.Fatalf("allow for another analyzer suppressed mylint: %v", *diags)
+	}
+}
+
+func TestAllowList(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\tbad() //lint:allow a,b shared reason\n}\n\nfunc bad() {}\n"
+	for _, name := range []string{"a", "b"} {
+		pass, diags := newPass(t, name, src)
+		lintutil.Report(pass, posOf(t, pass, src, "bad()"), "flagged")
+		if len(*diags) != 0 {
+			t.Fatalf("comma-list allow did not suppress %s: %v", name, *diags)
+		}
+	}
+}
+
+func TestAllowWithoutReasonIsReported(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:allow mylint\n\tbad()\n}\n\nfunc bad() {}\n"
+	pass, diags := newPass(t, "mylint", src)
+	lintutil.ReportAllowMisuse(pass)
+	if len(*diags) != 1 || !strings.Contains((*diags)[0].Message, "needs a reason") {
+		t.Fatalf("reason-less allow not reported: %v", *diags)
+	}
+	// And it must NOT suppress the diagnostic it hoped to silence.
+	lintutil.Report(pass, posOf(t, pass, src, "bad()"), "flagged")
+	if len(*diags) != 2 {
+		t.Fatalf("reason-less allow suppressed the diagnostic: %v", *diags)
+	}
+}
+
+func TestPkgInScope(t *testing.T) {
+	cases := []struct {
+		path string
+		segs []string
+		want bool
+	}{
+		{"repro/internal/core", []string{"core", "server"}, true},
+		{"repro/internal/server", []string{"core", "server"}, true},
+		{"repro/internal/corelib", []string{"core"}, false},
+		{"repro/internal/stats", []string{"memo", "cost", "stats"}, true},
+		{"repro/cmd/pqolint", []string{"core"}, false},
+	}
+	for _, c := range cases {
+		if got := lintutil.PkgInScope(c.path, c.segs); got != c.want {
+			t.Errorf("PkgInScope(%q, %v) = %v, want %v", c.path, c.segs, got, c.want)
+		}
+	}
+}

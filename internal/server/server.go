@@ -149,14 +149,43 @@ func (s *Server) Handler() http.Handler {
 // http.ErrServerClosed after a graceful shutdown.
 func (s *Server) Serve(ln net.Listener) error {
 	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := s.setServing(srv); err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}
+
+// setServing installs srv as the active http.Server, failing if one is
+// already installed.
+func (s *Server) setServing(srv *http.Server) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.httpSrv != nil {
-		s.mu.Unlock()
 		return errors.New("server: already serving")
 	}
 	s.httpSrv = srv
-	s.mu.Unlock()
-	return srv.Serve(ln)
+	return nil
+}
+
+// takeServer detaches and returns the active http.Server, if any.
+func (s *Server) takeServer() *http.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	return srv
+}
+
+// snapshotEntries copies the registered-template list under the read lock so
+// slow per-entry work (snapshot export, file IO) runs without holding it.
+func (s *Server) snapshotEntries() []*entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	return entries
 }
 
 // ListenAndServe listens on addr and calls Serve.
@@ -172,10 +201,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // (bounded by ctx) and then persists every plan cache when snapshots are
 // enabled, so restarts resume with warm caches.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	srv := s.httpSrv
-	s.httpSrv = nil
-	s.mu.Unlock()
+	srv := s.takeServer()
 	if srv != nil {
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
@@ -197,12 +223,7 @@ func (s *Server) SaveSnapshots() (int, error) {
 	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
 		return 0, err
 	}
-	s.mu.RLock()
-	entries := make([]*entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		entries = append(entries, e)
-	}
-	s.mu.RUnlock()
+	entries := s.snapshotEntries()
 	saved := 0
 	for _, e := range entries {
 		data, err := e.scr.Export()

@@ -6,6 +6,7 @@
 # race pass targets the packages with concurrent hot paths.
 #
 #   ./scripts/check.sh          # vet + build + tests + targeted race pass
+#   ./scripts/check.sh -lint    # additionally run pqolint + extra analyzers
 #   ./scripts/check.sh -bench   # additionally run the parallel benchmarks
 set -eu
 cd "$(dirname "$0")/.."
@@ -16,7 +17,35 @@ go test ./...
 go test -race ./internal/core/ ./internal/server/ ./internal/engine/ \
     ./internal/baselines/ ./internal/harness/ ./internal/memo/
 
-if [ "${1:-}" = "-bench" ]; then
+run_lint() {
+    # pqolint: the repo's invariant analyzers (docs/LINT.md). Driven through
+    # `go vet -vettool` so package loading and result caching come from the
+    # go command.
+    bin=$(mktemp -d)/pqolint
+    go build -o "$bin" ./cmd/pqolint
+    go vet -vettool="$bin" ./...
+    rm -f "$bin"
+    echo "check.sh: pqolint clean"
+
+    # Extra analyzers, best-effort: these tools are not vendored, so they
+    # run only where the host has them installed (e.g. CI).
+    if command -v govulncheck >/dev/null 2>&1; then
+        govulncheck ./... || exit 1
+    else
+        echo "check.sh: govulncheck not installed; skipping"
+    fi
+    if command -v shadow >/dev/null 2>&1; then
+        go vet -vettool="$(command -v shadow)" ./... || exit 1
+    else
+        echo "check.sh: shadow not installed; skipping"
+    fi
+}
+
+case "${1:-}" in
+-lint)
+    run_lint
+    ;;
+-bench)
     # Fast smoke over the memo hot path first: a regression in Optimize/
     # Recost cost or allocations shows up here in seconds (see docs/PERF.md
     # and scripts/bench.sh for the full comparison workflow).
@@ -24,6 +53,7 @@ if [ "${1:-}" = "-bench" ]; then
         -bench 'BenchmarkOptimize$|BenchmarkRecost$'
     go test ./internal/core/ -run '^$' -bench BenchmarkProcessParallel -cpu 8
     go test ./internal/server/ -run '^$' -bench BenchmarkServerParallel -cpu 8
-fi
+    ;;
+esac
 
 echo "check.sh: all green"
