@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the optimizer circuit breaker's state.
+type BreakerState int32
+
+// The classic three-state breaker.
+const (
+	// BreakerClosed: optimizer calls proceed normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: optimizer calls are skipped; degraded fallback (or
+	// ErrBreakerOpen) serves instead until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe call is in
+	// flight to decide whether to close or re-open.
+	BreakerHalfOpen
+)
+
+// String names the state for /healthz, /metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a circuit breaker over the optimizer: closed → open after
+// threshold consecutive failures/timeouts, half-open probe after cooldown,
+// half-open → closed on a probe success, half-open → open on a probe
+// failure. A stuck or crashing optimizer therefore stops eating latency
+// budget after a few failures while cached plans keep serving.
+//
+// The mutex guards only the tiny state transition — never an engine call
+// (see the lockdiscipline analyzer) — and is touched exclusively on the
+// optimizer miss path, so the read-path hot loop never sees it. A nil
+// *breaker is valid and always allows.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool
+
+	opens     atomic.Int64
+	halfOpens atomic.Int64
+	closes    atomic.Int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether an optimizer call may proceed now. When it returns
+// true the caller must follow up with exactly one RecordSuccess or
+// RecordFailure; when false the caller serves degraded (or fails) without
+// recording.
+func (b *breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.halfOpens.Add(1)
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// RecordSuccess reports a completed optimizer call.
+func (b *breaker) RecordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+		b.closes.Add(1)
+	}
+}
+
+// RecordFailure reports a failed or timed-out optimizer call.
+func (b *breaker) RecordFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// RecordCancel reports an optimizer call abandoned because the *caller*
+// was cancelled — evidence of nothing about optimizer health, so it only
+// releases a half-open probe slot.
+func (b *breaker) RecordCancel() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// trip moves to open. Caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = time.Now()
+	b.probing = false
+	b.consecFails = 0
+	b.opens.Add(1)
+}
+
+// State returns the current state, advancing open → half-open eligibility
+// lazily (reporting only; the transition itself happens in Allow).
+func (b *breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counters reports cumulative transition counts.
+func (b *breaker) Counters() (opens, halfOpens, closes int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.opens.Load(), b.halfOpens.Load(), b.closes.Load()
+}

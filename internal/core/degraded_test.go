@@ -1,0 +1,447 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/pqotest"
+)
+
+// chaosEngine wraps the synthetic test engine with switchable failure
+// modes, so one test can warm the cache while healthy and then break the
+// optimizer (or the recoster) on demand.
+type chaosEngine struct {
+	*pqotest.Engine
+	failOptimize  atomic.Bool
+	panicOptimize atomic.Bool
+	slowOptimize  atomic.Int64 // ns added to every Optimize
+	failRecost    atomic.Bool
+
+	mu   sync.Mutex
+	gate chan struct{} // when set, Optimize blocks until it closes
+}
+
+var errChaosOpt = errors.New("chaos: optimizer down")
+var errChaosRecost = errors.New("chaos: recost down")
+
+func (e *chaosEngine) setGate() chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gate = make(chan struct{})
+	return e.gate
+}
+
+func (e *chaosEngine) currentGate() chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gate
+}
+
+func (e *chaosEngine) Optimize(sv []float64) (*engine.CachedPlan, float64, error) {
+	if gate := e.currentGate(); gate != nil {
+		<-gate
+	}
+	if d := e.slowOptimize.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if e.panicOptimize.Load() {
+		panic("chaos: optimizer crash bug")
+	}
+	if e.failOptimize.Load() {
+		return nil, 0, errChaosOpt
+	}
+	return e.Engine.Optimize(sv)
+}
+
+func (e *chaosEngine) Recost(cp *engine.CachedPlan, sv []float64) (float64, error) {
+	if e.failRecost.Load() {
+		return 0, errChaosRecost
+	}
+	return e.Engine.Recost(cp, sv)
+}
+
+func newChaosEngine(t *testing.T) *chaosEngine {
+	t.Helper()
+	return &chaosEngine{Engine: twoPlaneEngine(t)}
+}
+
+// warm populates s with the two plans of twoPlaneEngine.
+func warm(t *testing.T, s *SCR) {
+	t.Helper()
+	for _, sv := range [][]float64{{0.01, 0.9}, {0.9, 0.01}} {
+		if _, err := s.Process(context.Background(), sv); err != nil {
+			t.Fatalf("warming cache at %v: %v", sv, err)
+		}
+	}
+}
+
+func TestDegradedFallbackOnOptimizerError(t *testing.T) {
+	eng := newChaosEngine(t)
+	s, err := New(eng, WithLambda(1.05), WithDegradedFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, s)
+	eng.failOptimize.Store(true)
+
+	// A tight λ forces this distant instance to the optimizer — which is
+	// now down — so it must be served degraded from the cache.
+	dec, err := s.Process(context.Background(), []float64{0.5, 0.45})
+	if err != nil {
+		t.Fatalf("degraded fallback returned error: %v", err)
+	}
+	if !dec.Degraded || dec.DegradedReason != DegradedOptimizerError || dec.Via != ViaFallback {
+		t.Fatalf("decision = %+v, want degraded optimizer-error via fallback", dec)
+	}
+	if dec.Plan == nil {
+		t.Fatal("degraded decision carries no plan")
+	}
+	// The fallback must pick the min-cost cached plan at this sv.
+	if got, _ := eng.Engine.Recost(dec.Plan, []float64{0.5, 0.45}); got <= 0 {
+		t.Fatalf("fallback plan recost = %v", got)
+	}
+	if st := s.Stats(); st.DegradedDecisions != 1 {
+		t.Errorf("DegradedDecisions = %d, want 1", st.DegradedDecisions)
+	}
+}
+
+func TestDegradedFallbackEmptyCacheErrors(t *testing.T) {
+	eng := newChaosEngine(t)
+	eng.failOptimize.Store(true)
+	s, err := New(eng, WithDegradedFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Process(context.Background(), []float64{0.5, 0.5})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("empty-cache degrade = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestOptimizerErrorWithoutFallbackSurfaces(t *testing.T) {
+	eng := newChaosEngine(t)
+	eng.failOptimize.Store(true)
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(context.Background(), []float64{0.5, 0.5}); !errors.Is(err, errChaosOpt) {
+		t.Fatalf("err = %v, want the engine's error", err)
+	}
+}
+
+func TestOptimizerDeadlineDegradesAndAdoptsLateResult(t *testing.T) {
+	eng := newChaosEngine(t)
+	s, err := New(eng, WithLambda(1.05), WithDegradedFallback(),
+		WithOptimizerDeadline(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, s)
+	plansBefore := s.Stats().CurPlans
+
+	eng.slowOptimize.Store(int64(100 * time.Millisecond))
+	start := time.Now()
+	dec, err := s.Process(context.Background(), []float64{0.5, 0.45})
+	if err != nil {
+		t.Fatalf("deadline path: %v", err)
+	}
+	if d := time.Since(start); d > 80*time.Millisecond {
+		t.Errorf("deadline did not bound the call: took %v", d)
+	}
+	if !dec.Degraded || dec.DegradedReason != DegradedOptimizerTimeout {
+		t.Fatalf("decision = %+v, want degraded optimizer-timeout", dec)
+	}
+
+	// The abandoned call keeps running and must populate the cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().CurPlans > plansBefore || s.Stats().Instances < s.Stats().OptCalls {
+			break
+		}
+		if st := s.Stats(); st.OptCalls > 2 { // warm(2) + adopted late call
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := s.Stats(); st.OptCalls <= 2 && st.CurPlans <= plansBefore {
+		t.Errorf("late optimizer result was not adopted: %+v", st)
+	}
+}
+
+func TestOptimizerPanicBecomesDegradedDecision(t *testing.T) {
+	eng := newChaosEngine(t)
+	s, err := New(eng, WithLambda(1.05), WithDegradedFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, s)
+	eng.panicOptimize.Store(true)
+	dec, err := s.Process(context.Background(), []float64{0.5, 0.45})
+	if err != nil {
+		t.Fatalf("panic path: %v", err)
+	}
+	if !dec.Degraded || dec.DegradedReason != DegradedOptimizerPanic {
+		t.Fatalf("decision = %+v, want degraded optimizer-panic", dec)
+	}
+}
+
+func TestOptimizerPanicWithoutFallbackIsError(t *testing.T) {
+	eng := newChaosEngine(t)
+	eng.panicOptimize.Store(true)
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(context.Background(), []float64{0.5, 0.5}); !errors.Is(err, ErrOptimizerPanic) {
+		t.Fatalf("err = %v, want ErrOptimizerPanic", err)
+	}
+	// The flight must not leak: a second call opens a fresh flight.
+	eng.panicOptimize.Store(false)
+	dec, err := s.Process(context.Background(), []float64{0.5, 0.5})
+	if err != nil || dec.Via != ViaOptimizer {
+		t.Fatalf("post-panic call = %+v, %v; want a fresh optimizer decision", dec, err)
+	}
+}
+
+func TestCircuitBreakerLifecycle(t *testing.T) {
+	eng := newChaosEngine(t)
+	const cooldown = 30 * time.Millisecond
+	s, err := New(eng, WithLambda(1.05), WithDegradedFallback(),
+		WithCircuitBreaker(2, cooldown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, s)
+	optBefore := eng.OptimizeCalls()
+	eng.failOptimize.Store(true)
+
+	// Two consecutive failures trip the breaker…
+	for i := 0; i < 2; i++ {
+		dec, err := s.Process(context.Background(), []float64{0.5, 0.45})
+		if err != nil || dec.DegradedReason != DegradedOptimizerError {
+			t.Fatalf("failure %d: dec=%+v err=%v", i, dec, err)
+		}
+	}
+	if st := s.Stats(); st.BreakerState != BreakerOpen || st.BreakerOpens != 1 {
+		t.Fatalf("after 2 failures: state=%v opens=%d, want open/1", st.BreakerState, st.BreakerOpens)
+	}
+
+	// …so the next miss is served degraded WITHOUT touching the optimizer.
+	calls := eng.OptimizeCalls()
+	dec, err := s.Process(context.Background(), []float64{0.52, 0.44})
+	if err != nil || dec.DegradedReason != DegradedBreakerOpen {
+		t.Fatalf("breaker-open serve: dec=%+v err=%v", dec, err)
+	}
+	if got := eng.OptimizeCalls(); got != calls {
+		t.Errorf("open breaker still called the optimizer (%d -> %d)", calls, got)
+	}
+
+	// After the cooldown a half-open probe runs; the engine is healthy
+	// again, so the probe closes the breaker and serving returns to normal.
+	eng.failOptimize.Store(false)
+	time.Sleep(cooldown + 10*time.Millisecond)
+	dec, err = s.Process(context.Background(), []float64{0.54, 0.43})
+	if err != nil || dec.Degraded {
+		t.Fatalf("probe call: dec=%+v err=%v, want a normal decision", dec, err)
+	}
+	st := s.Stats()
+	if st.BreakerState != BreakerClosed || st.BreakerHalfOpens != 1 || st.BreakerCloses != 1 {
+		t.Fatalf("after probe: %+v, want closed with one half-open and one close", st)
+	}
+	if eng.OptimizeCalls() <= optBefore {
+		t.Error("probe did not reach the optimizer")
+	}
+}
+
+func TestBreakerWithoutFallbackReturnsErrBreakerOpen(t *testing.T) {
+	eng := newChaosEngine(t)
+	eng.failOptimize.Store(true)
+	s, err := New(eng, WithCircuitBreaker(1, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(context.Background(), []float64{0.5, 0.5}); !errors.Is(err, errChaosOpt) {
+		t.Fatalf("first failure = %v, want engine error", err)
+	}
+	if _, err := s.Process(context.Background(), []float64{0.6, 0.6}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second call = %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestReadPathErrorFallsThroughToOptimizer(t *testing.T) {
+	eng := newChaosEngine(t)
+	// λ tight enough that the second instance needs the cost check (which
+	// recosts — and recost is down), yet the optimizer is healthy: the
+	// instance must still get a fully-guaranteed optimizer decision.
+	s, err := New(eng, WithLambda(1.05), WithDegradedFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(context.Background(), []float64{0.01, 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	eng.failRecost.Store(true)
+	dec, err := s.Process(context.Background(), []float64{0.4, 0.5})
+	if err != nil {
+		t.Fatalf("read-path error path: %v", err)
+	}
+	if dec.Degraded || dec.Via != ViaOptimizer {
+		t.Fatalf("decision = %+v, want a normal optimizer decision", dec)
+	}
+	if st := s.Stats(); st.ReadPathErrors == 0 {
+		t.Error("ReadPathErrors not counted")
+	}
+}
+
+// TestFlightChaos is the flightGroup chaos test: a panicking leader and a
+// slow leader with a cancelled waiter must leave no leaked flight entry,
+// and a subsequent call must start a fresh flight.
+func TestFlightChaos(t *testing.T) {
+	t.Run("leader-panic", func(t *testing.T) {
+		eng := newChaosEngine(t)
+		eng.panicOptimize.Store(true)
+		s, err := New(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv := []float64{0.5, 0.5}
+		if _, err := s.Process(context.Background(), sv); !errors.Is(err, ErrOptimizerPanic) {
+			t.Fatalf("leader err = %v, want ErrOptimizerPanic", err)
+		}
+		s.flight.mu.Lock()
+		leaked := len(s.flight.m)
+		s.flight.mu.Unlock()
+		if leaked != 0 {
+			t.Fatalf("flight map leaked %d entries after panic", leaked)
+		}
+		// Fresh flight afterwards.
+		eng.panicOptimize.Store(false)
+		if dec, err := s.Process(context.Background(), sv); err != nil || !dec.Optimized {
+			t.Fatalf("post-panic flight: dec=%+v err=%v", dec, err)
+		}
+	})
+
+	t.Run("slow-leader-cancelled-waiter", func(t *testing.T) {
+		eng := newChaosEngine(t)
+		gate := eng.setGate()
+		s, err := New(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv := []float64{0.5, 0.5}
+
+		leaderDone := make(chan error, 1)
+		go func() {
+			_, err := s.Process(context.Background(), sv)
+			leaderDone <- err
+		}()
+		// Wait until the leader owns the flight.
+		for {
+			s.flight.mu.Lock()
+			n := len(s.flight.m)
+			s.flight.mu.Unlock()
+			if n == 1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		waiterDone := make(chan error, 1)
+		go func() {
+			_, err := s.Process(ctx, sv)
+			waiterDone <- err
+		}()
+		time.Sleep(5 * time.Millisecond) // let the waiter join the flight
+		cancel()
+		if err := <-waiterDone; !errors.Is(err, ErrCancelled) {
+			t.Fatalf("waiter err = %v, want ErrCancelled", err)
+		}
+
+		// The leader is never interrupted; unblock it and check cleanup.
+		close(gate)
+		if err := <-leaderDone; err != nil {
+			t.Fatalf("leader err = %v", err)
+		}
+		s.flight.mu.Lock()
+		leaked := len(s.flight.m)
+		s.flight.mu.Unlock()
+		if leaked != 0 {
+			t.Fatalf("flight map leaked %d entries", leaked)
+		}
+		// A subsequent identical call is a cache hit (the leader populated
+		// the cache), and a distinct one opens a fresh flight cleanly.
+		if dec, err := s.Process(context.Background(), sv); err != nil || dec.Plan == nil {
+			t.Fatalf("post-flight call: dec=%+v err=%v", dec, err)
+		}
+	})
+}
+
+func TestDegradedSharedWaitersInheritFlag(t *testing.T) {
+	eng := newChaosEngine(t)
+	s, err := New(eng, WithLambda(1.05), WithDegradedFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm(t, s)
+	gate := eng.setGate()
+	eng.failOptimize.Store(true)
+
+	sv := []float64{0.5, 0.45}
+	const waiters = 4
+	var wg sync.WaitGroup
+	decs := make([]*Decision, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decs[i], errs[i] = s.Process(context.Background(), sv)
+		}(i)
+	}
+	// Give everyone time to pile onto one flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	shared := 0
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if !decs[i].Degraded {
+			t.Errorf("waiter %d decision not flagged degraded: %+v", i, decs[i])
+		}
+		if decs[i].Shared {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Log("no waiter shared the flight (timing); still verified degraded flags")
+	}
+}
+
+func TestResilienceConfigValidation(t *testing.T) {
+	eng := twoPlaneEngine(t)
+	bad := []Option{
+		WithOptimizerDeadline(0),
+		WithOptimizerDeadline(-time.Second),
+		WithCircuitBreaker(0, time.Second),
+		WithCircuitBreaker(3, 0),
+	}
+	for i, opt := range bad {
+		if _, err := New(eng, opt); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("bad option %d: err = %v, want ErrInvalidConfig", i, err)
+		}
+	}
+	if _, err := New(eng, WithDegradedFallback(),
+		WithOptimizerDeadline(time.Second), WithCircuitBreaker(3, time.Second)); err != nil {
+		t.Errorf("valid resilience config rejected: %v", err)
+	}
+}

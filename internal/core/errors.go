@@ -19,4 +19,22 @@ var (
 	ErrCancelled = errors.New("pqo: cancelled")
 	// ErrInvalidConfig reports a rejected configuration option.
 	ErrInvalidConfig = errors.New("pqo: invalid configuration")
+	// ErrOptimizerTimeout reports that a full optimizer call exceeded the
+	// configured WithOptimizerDeadline budget. With degraded fallback
+	// enabled the error is absorbed into a Degraded decision; without it
+	// the error surfaces to the caller.
+	ErrOptimizerTimeout = errors.New("pqo: optimizer deadline exceeded")
+	// ErrOptimizerPanic reports that the engine's optimizer panicked.
+	// Panics are recovered (the flight is cleaned up, waiters unblocked)
+	// and converted into this error — or into a Degraded decision when
+	// fallback is enabled.
+	ErrOptimizerPanic = errors.New("pqo: optimizer panicked")
+	// ErrBreakerOpen reports that the optimizer circuit breaker is open:
+	// recent optimizer calls failed or timed out consecutively, so new
+	// calls are skipped until the cooldown elapses.
+	ErrBreakerOpen = errors.New("pqo: optimizer circuit breaker open")
+	// ErrUnavailable reports that degraded-mode fallback was required but
+	// impossible: the optimizer is failing (or gated by the breaker) and
+	// the plan cache holds nothing to serve instead.
+	ErrUnavailable = errors.New("pqo: degraded and no cached plan available")
 )

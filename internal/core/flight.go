@@ -48,16 +48,27 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Decision, 
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.dec, c.err = fn()
-
-	// Remove the flight before signalling completion: a caller that misses
-	// the flight entirely re-checks the cache (which the leader has already
-	// populated) before opening a new one, so the burst still performs
-	// exactly one optimizer call.
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	// The flight must be torn down even if fn panics: a leaked entry would
+	// strand every waiter (and every future caller for this key) on a done
+	// channel that never closes. The panic is converted into an error both
+	// the leader and the waiters observe — Process's degraded-fallback path
+	// turns it into a served plan when enabled.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.dec, c.err = nil, fmt.Errorf("%w: flight leader: %v", ErrOptimizerPanic, r)
+			}
+			// Remove the flight before signalling completion: a caller
+			// that misses the flight entirely re-checks the cache (which
+			// the leader has already populated) before opening a new one,
+			// so the burst still performs exactly one optimizer call.
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.dec, c.err = fn()
+	}()
 	return c.dec, false, c.err
 }
 

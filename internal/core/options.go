@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Option configures an SCR built with New. Options validate their inputs
 // and return errors instead of silently substituting defaults; an invalid
@@ -143,6 +146,55 @@ func WithScanOrder(o ScanOrder) Option {
 		default:
 			return optErr("unknown scan order %d", int(o))
 		}
+		return nil
+	}
+}
+
+// WithDegradedFallback enables degraded-mode serving: when the optimizer
+// is unavailable (error, panic, deadline expiry, open circuit breaker)
+// Process serves the cheapest cached plan and flags the Decision as
+// Degraded with a DegradedReason, instead of returning an error. Degraded
+// decisions explicitly relax the λ guarantee — see docs/ROBUSTNESS.md for
+// the full degradation ladder. Context cancellation is never absorbed:
+// a cancelled caller still gets an ErrCancelled error.
+func WithDegradedFallback() Option {
+	return func(c *Config) error {
+		c.DegradedFallback = true
+		return nil
+	}
+}
+
+// WithOptimizerDeadline bounds each full optimizer call to d > 0. A call
+// exceeding the deadline is abandoned — it keeps running detached and
+// still populates the plan cache if it completes — and the waiting
+// instance is served degraded (with WithDegradedFallback) or fails with
+// ErrOptimizerTimeout.
+func WithOptimizerDeadline(d time.Duration) Option {
+	return func(c *Config) error {
+		if d <= 0 {
+			return optErr("optimizer deadline %v must be > 0", d)
+		}
+		c.OptimizerDeadline = d
+		return nil
+	}
+}
+
+// WithCircuitBreaker arms a circuit breaker on the optimizer: after
+// failures >= 1 consecutive optimizer failures/timeouts the breaker opens
+// and optimizer calls are skipped for cooldown > 0, after which a single
+// half-open probe decides whether to close it again. While open, instances
+// that miss the cache are served degraded (with WithDegradedFallback) or
+// fail with ErrBreakerOpen.
+func WithCircuitBreaker(failures int, cooldown time.Duration) Option {
+	return func(c *Config) error {
+		if failures < 1 {
+			return optErr("breaker threshold %d must be >= 1", failures)
+		}
+		if cooldown <= 0 {
+			return optErr("breaker cooldown %v must be > 0", cooldown)
+		}
+		c.BreakerThreshold = failures
+		c.BreakerCooldown = cooldown
 		return nil
 	}
 }

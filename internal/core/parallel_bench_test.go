@@ -62,18 +62,39 @@ func BenchmarkProcessParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkProcessParallelResilient measures the overhead of the
+// resilience layer (docs/ROBUSTNESS.md) on a healthy system: degraded
+// fallback armed, circuit breaker closed, optimizer deadline far above
+// the simulated planning time, so no request actually degrades. The
+// read-path hot loop is untouched by the layer; the only added work is
+// on optimizer misses (breaker bookkeeping plus the deadline goroutine),
+// so "resilient" must stay within noise of "baseline".
+func BenchmarkProcessParallelResilient(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		scr, warm := newWarmSCR(b)
+		benchParallel(b, scr.Process, warm)
+	})
+	b.Run("resilient", func(b *testing.B) {
+		scr, warm := newWarmSCR(b,
+			core.WithDegradedFallback(),
+			core.WithOptimizerDeadline(100*time.Millisecond),
+			core.WithCircuitBreaker(5, time.Second))
+		benchParallel(b, scr.Process, warm)
+	})
+}
+
 // newWarmSCR builds an SCR over a synthetic 4-dimensional engine with
 // simulated optimizer latency, warmed with a fixed hot set so ~90% of
 // traffic resolves through the selectivity check near the head of the
 // instance list.
-func newWarmSCR(b *testing.B) (*core.SCR, [][]float64) {
+func newWarmSCR(b *testing.B, opts ...core.Option) (*core.SCR, [][]float64) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(11))
 	eng, err := pqotest.RandomEngine(rng, 4, 8)
 	if err != nil {
 		b.Fatal(err)
 	}
-	scr, err := core.New(&slowEngine{eng}, core.WithLambda(2))
+	scr, err := core.New(&slowEngine{eng}, append([]core.Option{core.WithLambda(2)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

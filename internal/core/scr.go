@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -61,6 +62,22 @@ type Config struct {
 	ViolationTolerance float64
 	// Dynamic enables Appendix D's per-instance λ; nil keeps λ static.
 	Dynamic *DynamicLambda
+
+	// DegradedFallback enables degraded-mode serving: when the optimizer
+	// is unavailable (error, panic, deadline, open breaker) Process falls
+	// back to the cheapest cached plan and returns a Decision flagged
+	// Degraded instead of an error (docs/ROBUSTNESS.md).
+	DegradedFallback bool
+	// OptimizerDeadline, when positive, bounds each full optimizer call;
+	// a call exceeding it is abandoned (it still populates the cache if it
+	// eventually completes) and the instance is served degraded.
+	OptimizerDeadline time.Duration
+	// BreakerThreshold, when positive, arms a circuit breaker on the
+	// optimizer: after this many consecutive failures/timeouts the breaker
+	// opens and optimizer calls are skipped for BreakerCooldown, then a
+	// half-open probe decides whether to close again.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // DynamicLambda maps an instance's optimal cost to a λ in [Min, Max] via an
@@ -118,6 +135,15 @@ func (c0 *Config) validate() error {
 			return optErr("dynamic lambda range [%v,%v] invalid", d.Min, d.Max)
 		}
 	}
+	if c0.OptimizerDeadline < 0 {
+		return optErr("optimizer deadline %v must be >= 0", c0.OptimizerDeadline)
+	}
+	if c0.BreakerThreshold < 0 {
+		return optErr("breaker threshold %d must be >= 0", c0.BreakerThreshold)
+	}
+	if c0.BreakerThreshold > 0 && c0.BreakerCooldown <= 0 {
+		return optErr("breaker cooldown %v must be > 0", c0.BreakerCooldown)
+	}
 	return nil
 }
 
@@ -164,6 +190,8 @@ type counters struct {
 	writePathHits   atomic.Int64
 	readLockWaitNs  atomic.Int64
 	writeLockWaitNs atomic.Int64
+	degraded        atomic.Int64
+	readPathErrors  atomic.Int64
 }
 
 // SCR is the paper's technique: an online PQO plan cache driven by the
@@ -181,6 +209,9 @@ type counters struct {
 type SCR struct {
 	cfg Config
 	eng Engine
+	// breaker gates optimizer calls when WithCircuitBreaker is set; nil
+	// (the default) always allows.
+	breaker *breaker
 
 	mu        sync.RWMutex
 	plans     map[string]*planEntry
@@ -205,7 +236,11 @@ func NewSCR(eng Engine, cfg Config) (*SCR, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &SCR{cfg: cfg, eng: eng, plans: make(map[string]*planEntry)}, nil
+	s := &SCR{cfg: cfg, eng: eng, plans: make(map[string]*planEntry)}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	return s, nil
 }
 
 // Name identifies the technique and its λ, e.g. "SCR(2)".
@@ -237,9 +272,16 @@ func (s *SCR) Stats() Stats {
 		CurPlans:               len(s.plans),
 		MaxPlans:               s.maxPlans,
 	}
+	st.DegradedDecisions = s.ctr.degraded.Load()
+	st.ReadPathErrors = s.ctr.readPathErrors.Load()
+	st.BreakerState = s.breaker.State()
+	st.BreakerOpens, st.BreakerHalfOpens, st.BreakerCloses = s.breaker.Counters()
 	if rep, ok := s.eng.(CacheReporter); ok {
 		st.RecostCacheHits, st.RecostCacheMisses = rep.RecostCacheCounters()
 		st.EnvPoolGets, st.EnvPoolReuses = rep.EnvPoolCounters()
+	}
+	if fr, ok := s.eng.(FaultReporter); ok {
+		st.InjectedFaults = fr.InjectedFaults()
 	}
 	var mem int64
 	for _, pe := range s.plans {
@@ -292,34 +334,57 @@ func (s *SCR) lock() {
 // write lock. Cancelling ctx aborts before the optimizer call and while
 // waiting on another caller's shared flight; an optimizer call already in
 // progress runs to completion so its plan still populates the cache.
-func (s *SCR) Process(ctx context.Context, sv []float64) (*Decision, error) {
+//
+// With WithDegradedFallback, optimizer unavailability (error, panic,
+// deadline expiry, open breaker) and read-path engine failures never
+// surface as errors while the cache holds plans: the instance is served
+// by the degraded-mode fallback (degrade.go) with Decision.Degraded set.
+// Context cancellation still errors — a cancelled caller wants no plan.
+func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err error) {
 	s.ctr.instances.Add(1)
 	if err := ctx.Err(); err != nil {
 		return nil, cancelled(err)
 	}
 	s.maybeResort()
-
-	dec, seen, err := s.readPath(ctx, sv)
-	if err != nil {
-		return nil, err
+	if s.cfg.DegradedFallback {
+		// Last-resort containment: a panic anywhere below (an engine crash
+		// bug reached through the checks) becomes a degraded decision.
+		defer func() {
+			if r := recover(); r != nil {
+				dec, err = s.degrade(sv, DegradedOptimizerPanic,
+					fmt.Errorf("%w: %v", ErrOptimizerPanic, r))
+			}
+		}()
 	}
-	if dec != nil {
+
+	dec0, seen, err := s.readPath(ctx, sv)
+	switch {
+	case err != nil && s.cfg.DegradedFallback && !errors.Is(err, ErrCancelled):
+		// Engine failure inside the checks. Fall through to the optimizer
+		// path: if the optimizer is healthy the guarantee still holds, and
+		// if it is not, the fallback below serves degraded.
+		s.ctr.readPathErrors.Add(1)
+	case err != nil:
+		return nil, err
+	case dec0 != nil:
 		s.ctr.readPathHits.Add(1)
-		return dec, nil
+		return dec0, nil
 	}
 
 	// Both checks failed: full optimizer call, deduplicated across
 	// concurrent identical instances.
-	dec, shared, err := s.flight.Do(ctx, svKey(sv), func() (*Decision, error) {
+	dec2, shared, err := s.flight.Do(ctx, svKey(sv), func() (*Decision, error) {
 		// Second chance: an overlapping flight may have populated the
 		// cache between our read-path miss and winning the flight. Only
 		// re-run the checks if the cache actually changed since.
 		if s.version.Load() != seen {
 			dec, _, err := s.readPath(ctx, sv)
-			if err != nil {
+			switch {
+			case err != nil && s.cfg.DegradedFallback && !errors.Is(err, ErrCancelled):
+				s.ctr.readPathErrors.Add(1)
+			case err != nil:
 				return nil, err
-			}
-			if dec != nil {
+			case dec != nil:
 				s.ctr.writePathHits.Add(1)
 				return dec, nil
 			}
@@ -327,17 +392,23 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (*Decision, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, cancelled(err)
 		}
-		cp, optCost, err := s.eng.Optimize(sv)
+		cp, optCost, err := s.callOptimizer(ctx, sv)
+		if err == nil && cp == nil {
+			err = fmt.Errorf("%w: optimizer returned no plan", ErrNoPlan)
+		}
 		if err != nil {
+			if s.cfg.DegradedFallback {
+				return s.degrade(sv, degradeReason(err), err)
+			}
 			return nil, err
 		}
-		if cp == nil {
-			return nil, fmt.Errorf("%w: optimizer returned no plan", ErrNoPlan)
-		}
 		s.ctr.optCalls.Add(1)
-		s.lock()
-		defer s.mu.Unlock()
-		if err := s.manageCache(sv, cp, optCost); err != nil {
+		if err := s.storePlan(sv, cp, optCost); err != nil {
+			if s.cfg.DegradedFallback {
+				// The freshly optimized plan is λ-optimal here by
+				// definition; only the cache bookkeeping failed. Serve it.
+				return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
+			}
 			return nil, err
 		}
 		return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
@@ -347,12 +418,20 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (*Decision, error) {
 	}
 	if shared {
 		s.ctr.sharedOptCalls.Add(1)
-		d := *dec
+		d := *dec2
 		d.Optimized = false
 		d.Shared = true
 		return &d, nil
 	}
-	return dec, nil
+	return dec2, nil
+}
+
+// storePlan records a freshly optimized (plan, instance) pair under the
+// write lock (Algorithm 2).
+func (s *SCR) storePlan(sv []float64, cp *engine.CachedPlan, optCost float64) error {
+	s.lock()
+	defer s.mu.Unlock()
+	return s.manageCache(sv, cp, optCost)
 }
 
 // maybeResort refreshes the instance-list ordering per the configured scan

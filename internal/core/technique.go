@@ -30,6 +30,10 @@ const (
 	// ViaInference means a baseline-specific inference reused a cached
 	// plan (ellipse, density, range, PCM box, optimize-once reuse...).
 	ViaInference
+	// ViaFallback means degraded-mode serving: the optimizer was
+	// unavailable (deadline, error, panic or open breaker) and the
+	// cheapest cached plan was served without a λ guarantee.
+	ViaFallback
 )
 
 // String names the check for reports.
@@ -43,6 +47,8 @@ func (c Check) String() string {
 		return "cost-check"
 	case ViaInference:
 		return "inference"
+	case ViaFallback:
+		return "degraded-fallback"
 	default:
 		return fmt.Sprintf("check(%d)", int(c))
 	}
@@ -60,7 +66,36 @@ type Decision struct {
 	// call for the same instance (singleflight dedup): this caller paid
 	// neither an optimizer call nor a cache check.
 	Shared bool
+	// Degraded reports that the λ guarantee was explicitly relaxed for
+	// this decision: the optimizer was unavailable and the plan came from
+	// the degraded-mode fallback over the cache. Degraded decisions may
+	// violate SubOpt ≤ λ; DegradedReason says why the relaxation happened.
+	Degraded bool
+	// DegradedReason identifies the failure the fallback absorbed; empty
+	// unless Degraded.
+	DegradedReason DegradedReason
 }
+
+// DegradedReason classifies why a decision was served without its λ
+// guarantee.
+type DegradedReason string
+
+// Degradation causes, in the order the resilience layer checks them.
+const (
+	// DegradedBreakerOpen: the optimizer circuit breaker was open, so no
+	// optimizer call was attempted.
+	DegradedBreakerOpen DegradedReason = "breaker-open"
+	// DegradedOptimizerTimeout: the optimizer call exceeded the
+	// WithOptimizerDeadline budget and was abandoned (it still populates
+	// the cache if it eventually completes).
+	DegradedOptimizerTimeout DegradedReason = "optimizer-timeout"
+	// DegradedOptimizerPanic: the optimizer panicked and the panic was
+	// recovered into the fallback path.
+	DegradedOptimizerPanic DegradedReason = "optimizer-panic"
+	// DegradedOptimizerError: the optimizer (or the cache-management
+	// recosting behind it) returned an error.
+	DegradedOptimizerError DegradedReason = "optimizer-error"
+)
 
 // Stats are cumulative counters a technique reports. Counter semantics
 // follow §2.1's metrics.
@@ -115,6 +150,23 @@ type Stats struct {
 	// environments: contexts handed out and pool reuses.
 	EnvPoolGets   int64
 	EnvPoolReuses int64
+	// DegradedDecisions counts instances served by the degraded-mode
+	// fallback (Decision.Degraded), i.e. without their λ guarantee.
+	DegradedDecisions int64
+	// ReadPathErrors counts read-path (selectivity/cost check) engine
+	// failures that degraded fallback absorbed by skipping the checks.
+	ReadPathErrors int64
+	// BreakerState is the optimizer circuit breaker's current state
+	// (BreakerClosed when no breaker is configured); the transition
+	// counters record closed→open, open→half-open and half-open→closed
+	// moves respectively.
+	BreakerState     BreakerState
+	BreakerOpens     int64
+	BreakerHalfOpens int64
+	BreakerCloses    int64
+	// InjectedFaults reports faults injected by a fault-injecting engine
+	// wrapper (zero when the engine does not implement FaultReporter).
+	InjectedFaults int64
 }
 
 // Technique is an online PQO technique processing a stream of query
@@ -153,6 +205,14 @@ type BatchEngine interface {
 	// PrepareRecost builds a reusable recosting context for sv. The caller
 	// must Release it and must not mutate sv until then.
 	PrepareRecost(sv []float64) (*engine.PreparedInstance, error)
+}
+
+// FaultReporter is the optional accounting surface of a fault-injecting
+// engine wrapper (internal/faultinject), surfacing how many faults were
+// injected through Stats and /metrics.
+type FaultReporter interface {
+	// InjectedFaults reports the cumulative number of injected faults.
+	InjectedFaults() int64
 }
 
 // CacheReporter is the optional accounting surface of an Engine exposing

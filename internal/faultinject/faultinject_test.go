@@ -1,0 +1,136 @@
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/pqotest"
+)
+
+func testEngine(t *testing.T) *pqotest.Engine {
+	t.Helper()
+	eng, err := pqotest.RandomEngine(rand.New(rand.NewSource(1)), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestNilAndDisabledInjectNothing(t *testing.T) {
+	eng := testEngine(t)
+	sv := []float64{0.2, 0.3}
+
+	// Nil injector: fully transparent.
+	fe := Wrap(eng, nil)
+	if _, _, err := fe.Optimize(sv); err != nil {
+		t.Fatalf("nil injector: %v", err)
+	}
+	if got := fe.InjectedFaults(); got != 0 {
+		t.Errorf("nil injector injected %d", got)
+	}
+
+	// Disabled injector: inert even with a 100% error point.
+	inj := New(1).Set(SiteOptimize, Point{Rate: 1, Fault: Fault{Err: errors.New("boom")}})
+	inj.Disable()
+	fe = Wrap(eng, inj)
+	if _, _, err := fe.Optimize(sv); err != nil {
+		t.Fatalf("disabled injector: %v", err)
+	}
+	inj.Enable()
+	if _, _, err := fe.Optimize(sv); err == nil {
+		t.Fatal("re-enabled injector did not fire")
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}
+
+func TestSequenceScriptsExactCalls(t *testing.T) {
+	eng := testEngine(t)
+	boom := errors.New("scripted")
+	inj := New(0).Set(SiteOptimize, Point{
+		Sequence: []bool{false, true, false},
+		Fault:    Fault{Err: boom},
+	})
+	fe := Wrap(eng, inj)
+	sv := []float64{0.5, 0.5}
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		_, _, err := fe.Optimize(sv)
+		fired = append(fired, errors.Is(err, boom))
+	}
+	want := []bool{false, true, false, false, true, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("call %d fired=%v, want %v (all: %v)", i, fired[i], want[i], fired)
+		}
+	}
+	if got := inj.InjectedAt(SiteOptimize); got != 2 {
+		t.Errorf("InjectedAt(optimize) = %d, want 2", got)
+	}
+}
+
+func TestRateIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		eng := testEngine(t)
+		inj := New(seed).Set(SiteRecost, Point{Rate: 0.5, Fault: Fault{Err: errors.New("x")}})
+		fe := Wrap(eng, inj)
+		cp, _, err := eng.Optimize([]float64{0.1, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			_, err := fe.Recost(cp, []float64{0.1, 0.1})
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b, c := run(7), run(7), run(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different injection streams")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical injection streams (suspicious)")
+	}
+}
+
+func TestPanicAndLatencyFaults(t *testing.T) {
+	eng := testEngine(t)
+	inj := New(3).Set(SiteOptimize, Point{
+		Sequence: []bool{true},
+		Fault:    Fault{Latency: 5 * time.Millisecond, Panic: true},
+	})
+	fe := Wrap(eng, inj)
+	start := time.Now()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected injected panic")
+			}
+		}()
+		_, _, _ = fe.Optimize([]float64{0.1, 0.1})
+	}()
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("latency fault not applied before panic (took %v)", d)
+	}
+}
+
+func TestPrepareRecostWithoutBatchingInner(t *testing.T) {
+	// pqotest.Engine does not batch: PrepareRecost must fail cleanly so
+	// batching callers fall back to per-call Recost.
+	fe := Wrap(testEngine(t), New(1))
+	if _, err := fe.PrepareRecost([]float64{0.1, 0.1}); err == nil {
+		t.Fatal("PrepareRecost over a non-batching engine must error")
+	}
+}

@@ -30,3 +30,27 @@ func work(ctx context.Context) error {
 	<-ctx.Done()
 	return ctx.Err()
 }
+
+// goodShedWait threads the request context into the slot wait, so a
+// caller that gives up releases its queue position immediately.
+func goodShedWait(ctx context.Context, sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// badShedWait severs the request from its caller while queueing for an
+// in-flight slot: the shed path would wait out the full queue budget even
+// after the client disconnected.
+func badShedWait(sem chan struct{}) bool {
+	ctx := context.Background() // want `context.Background\(\) on a request path severs cancellation`
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,76 @@
+// Fixture exercising lockdiscipline on the resilience layer's patterns
+// (PR4): circuit breaker state transitions and load-shedding bookkeeping.
+// Breaker state changes are tiny mutex sections that must never span an
+// engine call — an optimizer call under the breaker mutex would serialize
+// every miss behind a plan search, exactly the convoy the breaker exists
+// to prevent.
+package breaker
+
+import "sync"
+
+type Engine struct{}
+
+func (e *Engine) Optimize(sv []float64) {}
+
+type breaker struct {
+	mu          sync.Mutex
+	state       int
+	consecFails int
+}
+
+type SCR struct {
+	mu      sync.RWMutex
+	eng     *Engine
+	breaker *breaker
+	n       int
+}
+
+// goodRecordFailure is the idiomatic transition: defer-released and free
+// of engine calls.
+func (b *breaker) goodRecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	if b.consecFails >= 3 {
+		b.state = 1
+	}
+}
+
+// goodCallThenRecord keeps the engine call outside both the SCR write
+// lock and the breaker mutex, recording the outcome afterwards.
+func goodCallThenRecord(s *SCR) {
+	s.eng.Optimize(nil)
+	s.breaker.mu.Lock()
+	s.breaker.consecFails = 0
+	s.breaker.mu.Unlock()
+}
+
+// badProbeUnderBreakerMutex holds the breaker mutex across the half-open
+// probe's optimizer call.
+func badProbeUnderBreakerMutex(s *SCR) {
+	s.breaker.mu.Lock()
+	s.eng.Optimize(nil) // want `Optimize called while the write lock is held`
+	s.breaker.mu.Unlock()
+}
+
+// badRecordUnderSCRWriteLock runs a breaker-gated optimizer call while
+// still holding the SCR write lock (e.g. recording a degraded decision
+// inside the cache-management section).
+func badRecordUnderSCRWriteLock(s *SCR) {
+	s.mu.Lock()
+	s.n++
+	s.eng.Optimize(nil) // want `Optimize called while the write lock is held`
+	s.mu.Unlock()
+}
+
+// badShedAccounting leaks the breaker mutex on the early return: shed
+// bookkeeping must use defer like any other multi-return section.
+func badShedAccounting(b *breaker, overloaded bool) int {
+	b.mu.Lock()
+	if overloaded {
+		b.mu.Unlock() // want `manual Unlock in badShedAccounting, which has 2 return statements`
+		return 429
+	}
+	b.mu.Unlock()
+	return 200
+}

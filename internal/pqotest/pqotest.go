@@ -139,6 +139,18 @@ func (e *Engine) PlanCost(cp *engine.CachedPlan, sv []float64) float64 {
 	return e.specs[i].Cost(sv)
 }
 
+// CostByFingerprint returns the ground-truth cost at sv of the plan with
+// the given fingerprint, for end-to-end checks that only see a serialized
+// decision (e.g. an HTTP plan response). The second result is false for
+// an unknown fingerprint. No call counter is charged.
+func (e *Engine) CostByFingerprint(fp string, sv []float64) (float64, bool) {
+	i, ok := e.byFP[fp]
+	if !ok {
+		return math.NaN(), false
+	}
+	return e.specs[i].Cost(sv), true
+}
+
 // RandomEngine generates an engine with nPlans random multilinear plans over
 // d dimensions. The plans are constructed so different selectivity regions
 // favour different plans: each plan is cheap along a random subset of

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pqotest"
+	"repro/pqo"
+)
+
+// chaosFull switches the chaos suite from the short CI profile to the
+// full one (longer streams, more concurrency). Run it with
+//
+//	go test -race ./internal/server/ -run TestChaos -chaos.full
+//
+// or ./scripts/check.sh -chaos.
+var chaosFull = flag.Bool("chaos.full", false, "run the full (long) chaos profiles")
+
+// chaosLambda is deliberately tight so a realistic share of the stream
+// misses the cache and exercises the optimizer-side fault sites.
+const chaosLambda = 1.1
+
+// chaosServer is one template served through a fault-injecting engine
+// with the full resilience configuration, plus the clean twin engine used
+// as ground truth for λ checks.
+type chaosServer struct {
+	srv   *Server
+	h     http.Handler
+	inj   *faultinject.Injector
+	truth *pqotest.Engine
+}
+
+func newChaosServer(t *testing.T, inj *faultinject.Injector, cfg Config, opts ...pqo.Option) *chaosServer {
+	t.Helper()
+	eng, err := pqotest.RandomEngine(rand.New(rand.NewSource(11)), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → identical specs and fingerprints: a clean twin that
+	// reports ground-truth costs no matter what the injector does.
+	truth, err := pqotest.RandomEngine(rand.New(rand.NewSource(11)), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := faultinject.Wrap(eng, inj)
+	scr, err := pqo.New(faulty, append([]pqo.Option{pqo.WithLambda(chaosLambda)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.Register("chaos", "SELECT chaos", faulty, scr); err != nil {
+		t.Fatal(err)
+	}
+	return &chaosServer{srv: s, h: s.Handler(), inj: inj, truth: truth}
+}
+
+// resilientOpts is the full degraded-mode configuration every chaos
+// profile serves under.
+func resilientOpts() []pqo.Option {
+	return []pqo.Option{
+		pqo.WithDegradedFallback(),
+		pqo.WithOptimizerDeadline(20 * time.Millisecond),
+		pqo.WithCircuitBreaker(3, 25*time.Millisecond),
+	}
+}
+
+// chaosOutcome tallies one stream's responses.
+type chaosOutcome struct {
+	ok, degraded, shed, explainedErr int
+}
+
+// replayChaosStream fires n requests (from workers concurrent goroutines)
+// drawn from a small recurring sv pool — TPC-style: templates see repeated
+// parameter regions, so the cache warms and hits mix with misses. Every
+// response must be λ-guaranteed, explicitly Degraded, or an explained
+// error (a mapped sentinel or a shed with Retry-After); anything else
+// fails the test.
+func replayChaosStream(t *testing.T, cs *chaosServer, seed int64, n, workers int) chaosOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][]float64, 40)
+	for i := range pool {
+		pool[i] = pqotest.RandomSVector(rng, 2)
+	}
+
+	// Warm the recurring pool while the injector is quiet, as a service
+	// with healthy history would be. Without this the stream is a
+	// cold-start outage: the breaker can trip before any plan is cached
+	// and the whole (fast) stream then drains inside one cooldown window,
+	// a scenario TestDegradedFallbackEmptyCacheErrors covers directly.
+	cs.inj.Disable()
+	for _, sv := range pool {
+		if code, _, _ := chaosPost(t, cs.h, sv); code != http.StatusOK {
+			t.Fatalf("healthy warmup at %v: status %d", sv, code)
+		}
+	}
+	cs.inj.Enable()
+	svs := make([][]float64, n)
+	for i := range svs {
+		if rng.Intn(4) == 0 { // 25% fresh instances, 75% recurring
+			svs[i] = pqotest.RandomSVector(rng, 2)
+		} else {
+			svs[i] = pool[rng.Intn(len(pool))]
+		}
+	}
+
+	var mu sync.Mutex
+	var out chaosOutcome
+	var wg sync.WaitGroup
+	work := make(chan []float64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sv := range work {
+				code, resp, eb := chaosPost(t, cs.h, sv)
+				mu.Lock()
+				classifyChaosResponse(t, cs, sv, code, resp, eb, &out)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, sv := range svs {
+		work <- sv
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+func chaosPost(t *testing.T, h http.Handler, sv []float64) (int, *PlanResponse, *errorBody) {
+	t.Helper()
+	w, resp := postPlan(t, h, PlanRequest{Template: "chaos", SVector: sv})
+	if w.Code == http.StatusOK {
+		return w.Code, resp, nil
+	}
+	var eb errorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+		t.Errorf("non-JSON error body (status %d): %q", w.Code, w.Body)
+		return w.Code, nil, nil
+	}
+	return w.Code, nil, &eb
+}
+
+// classifyChaosResponse enforces the chaos invariant on one response.
+// Callers serialize access (out is shared).
+func classifyChaosResponse(t *testing.T, cs *chaosServer, sv []float64, code int, resp *PlanResponse, eb *errorBody, out *chaosOutcome) {
+	switch code {
+	case http.StatusOK:
+		cost, known := cs.truth.CostByFingerprint(resp.Fingerprint, sv)
+		if !known {
+			t.Errorf("response served unknown plan %q", resp.Fingerprint)
+			return
+		}
+		if resp.Degraded {
+			if resp.DegradedReason == "" {
+				t.Errorf("degraded response without a reason: %+v", resp)
+			}
+			out.degraded++
+			return
+		}
+		// A non-degraded response carries the full λ guarantee, checked
+		// against the clean twin engine: cost(served) ≤ λ·cost(optimal).
+		if opt := cs.truth.OptimalCost(sv); cost > chaosLambda*opt*(1+1e-9) {
+			t.Errorf("λ guarantee violated at %v: served cost %g > %g·%g", sv, cost, chaosLambda, opt)
+		}
+		out.ok++
+	case http.StatusTooManyRequests:
+		if eb == nil || eb.Sentinel != "ErrOverloaded" {
+			t.Errorf("429 without ErrOverloaded sentinel: %+v", eb)
+		}
+		out.shed++
+	case http.StatusServiceUnavailable, http.StatusGatewayTimeout, http.StatusBadGateway,
+		http.StatusUnprocessableEntity:
+		if eb == nil || eb.Sentinel == "" {
+			t.Errorf("status %d without a sentinel: %+v", code, eb)
+		}
+		out.explainedErr++
+	default:
+		t.Errorf("unexplained response: status %d (%+v %+v)", code, resp, eb)
+	}
+}
+
+var errChaosInjected = errors.New("chaos: injected engine fault")
+
+// TestChaosProfiles replays a TPC-style instance stream against each
+// fault profile and asserts the degraded-mode invariant: every response
+// is λ-guaranteed, explicitly Degraded, or an explained error — never an
+// unexplained failure. Run with -race (scripts/check.sh does).
+func TestChaosProfiles(t *testing.T) {
+	n, workers := 300, 4
+	if *chaosFull {
+		n, workers = 3000, 8
+	}
+	profiles := []struct {
+		name string
+		inj  *faultinject.Injector
+		cfg  Config
+	}{
+		{"latency-spikes", faultinject.LatencyProfile(1, 0.2, 40*time.Millisecond), Config{}},
+		{"engine-errors", faultinject.ErrorProfile(2, 0.3, errChaosInjected), Config{}},
+		{"optimizer-panics", faultinject.PanicProfile(3, 0.5), Config{}},
+		{"overload", faultinject.LatencyProfile(4, 0.5, 15*time.Millisecond),
+			Config{MaxInFlight: 2, QueueWait: time.Millisecond}},
+		{"mixed", faultinject.New(5).
+			Set(faultinject.SiteOptimize, faultinject.Point{Rate: 0.15, Fault: faultinject.Fault{Latency: 30 * time.Millisecond}}).
+			Set(faultinject.SiteRecost, faultinject.Point{Rate: 0.1, Fault: faultinject.Fault{Err: errChaosInjected}}).
+			Set(faultinject.SitePrepare, faultinject.Point{Rate: 0.05, Fault: faultinject.Fault{Err: errChaosInjected}}),
+			Config{MaxInFlight: 8, QueueWait: 5 * time.Millisecond}},
+	}
+	for _, p := range profiles {
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			cs := newChaosServer(t, p.inj, p.cfg, resilientOpts()...)
+			out := replayChaosStream(t, cs, 100+int64(len(p.name)), n, workers)
+			total := out.ok + out.degraded + out.shed + out.explainedErr
+			if total != n {
+				t.Errorf("classified %d of %d responses", total, n)
+			}
+			if out.ok == 0 {
+				t.Error("no fully-guaranteed responses at all")
+			}
+			if cs.inj.Injected() == 0 {
+				t.Error("profile injected no faults — the stream proved nothing")
+			}
+			t.Logf("%s: %d ok, %d degraded, %d shed, %d explained errors (%d faults injected)",
+				p.name, out.ok, out.degraded, out.shed, out.explainedErr, cs.inj.Injected())
+		})
+	}
+}
+
+// TestChaosBreakerObservability drives the breaker through a full
+// open → half-open → closed cycle with a hard outage and asserts every
+// transition is visible in /metrics and /healthz.
+func TestChaosBreakerObservability(t *testing.T) {
+	inj := faultinject.ErrorProfile(7, 1, errChaosInjected)
+	inj.Disable()
+	cs := newChaosServer(t, inj, Config{},
+		pqo.WithDegradedFallback(), pqo.WithCircuitBreaker(3, 20*time.Millisecond))
+
+	// Warm the cache while healthy.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		if code, _, _ := chaosPost(t, cs.h, pqotest.RandomSVector(rng, 2)); code != http.StatusOK {
+			t.Fatalf("warmup request %d: status %d", i, code)
+		}
+	}
+
+	// Hard outage: every engine call fails until the breaker opens.
+	inj.Enable()
+	opened := false
+	for i := 0; i < 50 && !opened; i++ {
+		chaosPost(t, cs.h, pqotest.RandomSVector(rng, 2))
+		opened = cs.metricValue(t, `pqo_breaker_state{template="chaos"}`) == int64(pqo.BreakerOpen)
+	}
+	if !opened {
+		t.Fatal("breaker never opened under a hard outage")
+	}
+	if got := cs.metricValue(t, `pqo_breaker_transitions_total{template="chaos",transition="open"}`); got < 1 {
+		t.Errorf("open transitions = %d, want >= 1", got)
+	}
+	if got := cs.metricValue(t, `pqo_injected_faults_total{template="chaos"}`); got < 3 {
+		t.Errorf("injected faults metric = %d, want >= 3", got)
+	}
+	if hs := cs.srv.health(); hs.Status != "degraded" || hs.Breakers["chaos"] == "" {
+		t.Errorf("health during outage = %+v, want degraded with a breaker entry", hs)
+	}
+
+	// Recovery: after the cooldown a probe closes the breaker.
+	inj.Disable()
+	deadline := time.Now().Add(2 * time.Second)
+	for cs.metricValue(t, `pqo_breaker_state{template="chaos"}`) != int64(pqo.BreakerClosed) {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after recovery")
+		}
+		time.Sleep(10 * time.Millisecond)
+		chaosPost(t, cs.h, pqotest.RandomSVector(rng, 2))
+	}
+	if got := cs.metricValue(t, `pqo_breaker_transitions_total{template="chaos",transition="close"}`); got < 1 {
+		t.Errorf("close transitions = %d, want >= 1", got)
+	}
+	if hs := cs.srv.health(); hs.Status != "serving" {
+		t.Errorf("health after recovery = %+v, want serving", hs)
+	}
+}
+
+func (cs *chaosServer) metricValue(t *testing.T, series string) int64 {
+	t.Helper()
+	w := httptest.NewRecorder()
+	cs.h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return promValue(t, w.Body.String(), series)
+}

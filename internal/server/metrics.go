@@ -61,13 +61,14 @@ func (h *latencyHist) writeProm(w io.Writer, name, labels string) {
 
 // checkLabels are the decision provenances a /plan request can resolve
 // through, in the order their histograms are kept per template entry.
-var checkLabels = [...]string{"optimizer", "selectivity-check", "cost-check", "shared"}
+var checkLabels = [...]string{"optimizer", "selectivity-check", "cost-check", "shared", "degraded"}
 
 const (
 	histOptimizer = iota
 	histSelectivity
 	histCost
 	histShared
+	histDegraded
 )
 
 // writeMetrics renders every registered template's counters and latency
@@ -120,6 +121,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.Violations) }},
 		{"pqo_evictions_total", "Plans evicted to enforce the plan budget.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.Evictions) }},
+		{"pqo_degraded_total", "Decisions served without the λ guarantee (degraded fallback).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.DegradedDecisions) }},
+		{"pqo_read_path_errors_total", "Read-path faults absorbed by falling through to the optimizer path.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.ReadPathErrors) }},
+		{"pqo_breaker_state", "Optimizer circuit breaker state (0=closed, 1=open, 2=half-open).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", int(st.BreakerState)) }},
+		{"pqo_injected_faults_total", "Faults injected by the fault-injection harness (0 in production).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.InjectedFaults) }},
 		{"pqo_read_lock_wait_seconds_total", "Cumulative time waiting for the cache read lock.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.ReadLockWait.Seconds()) }},
 		{"pqo_write_lock_wait_seconds_total", "Cumulative time waiting for the cache write lock.",
@@ -133,6 +142,24 @@ func (s *Server) writeMetrics(w io.Writer) {
 			fmt.Fprintf(w, "%s{template=%q} %s\n", sc.metric, name, sc.value(st))
 		}
 	}
+
+	fmt.Fprintln(w, "# HELP pqo_breaker_transitions_total Circuit breaker state transitions by kind.")
+	fmt.Fprintln(w, "# TYPE pqo_breaker_transitions_total counter")
+	for _, name := range names {
+		e := s.entry(name)
+		st := e.scr.Stats()
+		for _, t := range []struct {
+			kind  string
+			count int64
+		}{{"open", st.BreakerOpens}, {"half-open", st.BreakerHalfOpens}, {"close", st.BreakerCloses}} {
+			fmt.Fprintf(w, "pqo_breaker_transitions_total{template=%q,transition=%q} %d\n",
+				name, t.kind, t.count)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP pqo_shed_total /plan requests shed with 429 because every in-flight slot stayed busy.")
+	fmt.Fprintln(w, "# TYPE pqo_shed_total counter")
+	fmt.Fprintf(w, "pqo_shed_total %d\n", s.shedTotal.Load())
 
 	fmt.Fprintln(w, "# HELP pqo_check_latency_seconds End-to-end /plan decision latency by serving mechanism.")
 	fmt.Fprintln(w, "# TYPE pqo_check_latency_seconds histogram")

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/pqo"
@@ -48,11 +50,37 @@ type Config struct {
 	SnapshotDir string
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
+
+	// MaxInFlight bounds concurrently-processing /plan requests; zero
+	// means unlimited. When every slot is busy an arriving request waits
+	// up to QueueWait for one to free and is otherwise shed with
+	// 429 Too Many Requests and a Retry-After hint — overload degrades
+	// into fast, explicit rejections instead of a latency collapse.
+	MaxInFlight int
+	// QueueWait bounds how long a /plan request may wait for an in-flight
+	// slot before being shed. Zero means DefaultQueueWait; it only
+	// matters when MaxInFlight > 0.
+	QueueWait time.Duration
+	// RetryAfter is the Retry-After value (rounded up to whole seconds)
+	// attached to shed responses. Zero means DefaultRetryAfter.
+	RetryAfter time.Duration
 }
 
 // DefaultRequestTimeout bounds /plan requests when Config.RequestTimeout
 // is zero.
 const DefaultRequestTimeout = 5 * time.Second
+
+// DefaultQueueWait bounds the wait for an in-flight slot when
+// Config.MaxInFlight is set and Config.QueueWait is zero.
+const DefaultQueueWait = 100 * time.Millisecond
+
+// DefaultRetryAfter is the shed-response Retry-After hint when
+// Config.RetryAfter is zero.
+const DefaultRetryAfter = time.Second
+
+// shedRecencyWindow is how recently a request must have been shed for
+// /healthz to report "degraded" on that evidence.
+const shedRecencyWindow = 10 * time.Second
 
 // Server is an HTTP front-end over per-template SCR plan caches. All
 // methods are safe for concurrent use.
@@ -62,6 +90,14 @@ type Server struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
 	httpSrv *http.Server
+
+	// sem bounds in-flight /plan work when Config.MaxInFlight > 0; nil
+	// means unlimited. Acquiring is a buffered-channel send so the hot
+	// path pays one channel op when a slot is free.
+	sem       chan struct{}
+	shedTotal atomic.Int64
+	lastShed  atomic.Int64 // unix nanos of the most recent shed
+	draining  atomic.Bool  // set by Shutdown before the listener closes
 }
 
 // entry binds one registered template to its engine, plan cache and
@@ -79,7 +115,17 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
-	return &Server{cfg: cfg, entries: make(map[string]*entry)}
+	if cfg.QueueWait == 0 {
+		cfg.QueueWait = DefaultQueueWait
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{cfg: cfg, entries: make(map[string]*entry)}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return s
 }
 
 // Register adds a template under name, backed by eng and the given SCR
@@ -138,11 +184,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// HealthStatus is the body of GET /healthz: a three-state readiness
+// report. "serving" means full service; "degraded" means the service is
+// up but shedding load or running with an unhealthy optimizer (a circuit
+// breaker not closed), so responses may carry Degraded decisions;
+// "unhealthy" means the server is shutting down and new requests will be
+// rejected.
+type HealthStatus struct {
+	Status   string            `json:"status"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Sheds    int64             `json:"sheds,omitempty"`
+}
+
+// health computes the current health state from breaker states and shed
+// recency.
+func (s *Server) health() HealthStatus {
+	h := HealthStatus{Status: "serving", Sheds: s.shedTotal.Load()}
+	if s.draining.Load() {
+		h.Status = "unhealthy"
+		return h
+	}
+	for _, e := range s.snapshotEntries() {
+		st := e.scr.Stats()
+		if st.BreakerState != pqo.BreakerClosed {
+			if h.Breakers == nil {
+				h.Breakers = make(map[string]string)
+			}
+			h.Breakers[e.name] = st.BreakerState.String()
+			h.Status = "degraded"
+		}
+	}
+	if last := s.lastShed.Load(); last != 0 &&
+		time.Since(time.Unix(0, last)) < shedRecencyWindow {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	if h.Status == "unhealthy" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
 }
 
 // Serve accepts connections on ln until Shutdown. It returns
@@ -197,10 +288,12 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Shutdown gracefully stops the server: it drains in-flight requests
-// (bounded by ctx) and then persists every plan cache when snapshots are
-// enabled, so restarts resume with warm caches.
+// Shutdown gracefully stops the server: it marks itself unhealthy (so
+// load balancers stop routing here), drains in-flight requests (bounded
+// by ctx) and then persists every plan cache when snapshots are enabled,
+// so restarts resume with warm caches.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	srv := s.takeServer()
 	if srv != nil {
 		if err := srv.Shutdown(ctx); err != nil {
@@ -244,15 +337,101 @@ type PlanRequest struct {
 	SVector  []float64 `json:"sVector"`
 }
 
-// PlanResponse is the body of a successful POST /plan.
+// PlanResponse is the body of a successful POST /plan. Degraded reports
+// that the decision was served without the λ guarantee (the optimizer
+// was unavailable); DegradedReason says why. CostUnavailable marks a
+// response whose estimatedCost could not be computed because recosting
+// failed after the decision — the plan itself is still valid.
 type PlanResponse struct {
-	Via           string  `json:"via"`
-	Optimized     bool    `json:"optimized"`
-	Shared        bool    `json:"shared,omitempty"`
-	EstimatedCost float64 `json:"estimatedCost"`
-	Plan          string  `json:"plan"`
-	Fingerprint   string  `json:"fingerprint"`
-	LatencyMicros int64   `json:"latencyMicros"`
+	Via             string  `json:"via"`
+	Optimized       bool    `json:"optimized"`
+	Shared          bool    `json:"shared,omitempty"`
+	Degraded        bool    `json:"degraded,omitempty"`
+	DegradedReason  string  `json:"degradedReason,omitempty"`
+	EstimatedCost   float64 `json:"estimatedCost"`
+	CostUnavailable bool    `json:"costUnavailable,omitempty"`
+	Plan            string  `json:"plan"`
+	Fingerprint     string  `json:"fingerprint"`
+	LatencyMicros   int64   `json:"latencyMicros"`
+}
+
+// errorBody is the JSON body of every /plan error response: the message
+// plus the matching sentinel's name, so clients branch on a stable
+// identifier instead of parsing prose.
+type errorBody struct {
+	Error    string `json:"error"`
+	Sentinel string `json:"sentinel,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code int, sentinel string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Sentinel: sentinel})
+}
+
+// statusFor maps a Process error to its HTTP status and sentinel name.
+// Every sentinel gets a distinct, intentional status: cancellation is the
+// caller's deadline (504), exhausted budgets and open breakers are
+// retryable capacity conditions (503), and a template with no feasible
+// plan is a semantic problem with the request (422).
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, pqo.ErrCancelled):
+		return http.StatusGatewayTimeout, "ErrCancelled"
+	case errors.Is(err, pqo.ErrOptimizerTimeout):
+		return http.StatusGatewayTimeout, "ErrOptimizerTimeout"
+	case errors.Is(err, pqo.ErrBreakerOpen):
+		// Checked before ErrUnavailable: degrade wraps the breaker error
+		// inside ErrUnavailable when the cache is empty, and the more
+		// specific sentinel wins.
+		return http.StatusServiceUnavailable, "ErrBreakerOpen"
+	case errors.Is(err, pqo.ErrUnavailable):
+		return http.StatusServiceUnavailable, "ErrUnavailable"
+	case errors.Is(err, pqo.ErrBudgetExhausted):
+		return http.StatusServiceUnavailable, "ErrBudgetExhausted"
+	case errors.Is(err, pqo.ErrNoPlan):
+		return http.StatusUnprocessableEntity, "ErrNoPlan"
+	case errors.Is(err, pqo.ErrOptimizerPanic):
+		return http.StatusBadGateway, "ErrOptimizerPanic"
+	default:
+		return http.StatusInternalServerError, ""
+	}
+}
+
+// acquireSlot claims an in-flight /plan slot, waiting up to
+// Config.QueueWait. It reports whether the request may proceed; the
+// caller must invoke release exactly once when it does.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, true
+	default:
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return release, true
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	s.shedTotal.Add(1)
+	s.lastShed.Store(time.Now().UnixNano())
+	return nil, false
+}
+
+func (s *Server) shed(w http.ResponseWriter) {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusTooManyRequests, "ErrOverloaded",
+		errors.New("server: overloaded, request shed"))
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -262,19 +441,27 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	var req PlanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "", err)
 		return
 	}
 	e := s.entry(req.Template)
 	if e == nil {
-		http.Error(w, fmt.Sprintf("unknown template %q", req.Template), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "",
+			fmt.Errorf("unknown template %q", req.Template))
 		return
 	}
 	if len(req.SVector) != e.eng.Dimensions() {
-		http.Error(w, fmt.Sprintf("template %q takes %d selectivities, got %d",
-			req.Template, e.eng.Dimensions(), len(req.SVector)), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "",
+			fmt.Errorf("template %q takes %d selectivities, got %d",
+				req.Template, e.eng.Dimensions(), len(req.SVector)))
 		return
 	}
+	release, ok := s.acquireSlot(r.Context())
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -285,35 +472,41 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	dec, err := e.scr.Process(ctx, req.SVector)
 	if err != nil {
-		if errors.Is(err, pqo.ErrCancelled) {
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
-		} else {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
+		code, sentinel := statusFor(err)
+		writeError(w, code, sentinel, err)
 		return
 	}
-	cost, err := e.eng.Recost(dec.Plan, req.SVector)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	resp := PlanResponse{
+		Via:            dec.Via.String(),
+		Optimized:      dec.Optimized,
+		Shared:         dec.Shared,
+		Degraded:       dec.Degraded,
+		DegradedReason: string(dec.DegradedReason),
+		Plan:           dec.Plan.Plan.String(),
+		Fingerprint:    dec.Plan.Fingerprint(),
+	}
+	// A decision in hand is worth serving even when the engine cannot
+	// price it anymore (it may be the same fault that degraded the
+	// decision): mark the cost unavailable rather than failing the
+	// request after the hard part succeeded.
+	if cost, err := e.eng.Recost(dec.Plan, req.SVector); err == nil {
+		resp.EstimatedCost = cost
+	} else {
+		resp.CostUnavailable = true
 	}
 	latency := time.Since(start)
 	e.hist[histIndex(dec)].observe(latency)
-
-	writeJSON(w, PlanResponse{
-		Via:           dec.Via.String(),
-		Optimized:     dec.Optimized,
-		Shared:        dec.Shared,
-		EstimatedCost: cost,
-		Plan:          dec.Plan.Plan.String(),
-		Fingerprint:   dec.Plan.Fingerprint(),
-		LatencyMicros: latency.Microseconds(),
-	})
+	resp.LatencyMicros = latency.Microseconds()
+	writeJSON(w, resp)
 }
 
-// histIndex maps a decision to its latency histogram: shared optimizer
-// results are tracked separately from the check that produced them.
+// histIndex maps a decision to its latency histogram: degraded fallbacks
+// and shared optimizer results are tracked separately from the check
+// that produced them.
 func histIndex(dec *pqo.Decision) int {
+	if dec.Degraded {
+		return histDegraded
+	}
 	if dec.Shared {
 		return histShared
 	}
@@ -363,6 +556,11 @@ type StatsRow struct {
 	WriteLockWaitUS   int64   `json:"writeLockWaitMicros"`
 	RecostCacheHits   int64   `json:"recostCacheHits"`
 	RecostCacheMisses int64   `json:"recostCacheMisses"`
+	Degraded          int64   `json:"degradedDecisions"`
+	ReadPathErrors    int64   `json:"readPathErrors"`
+	BreakerState      string  `json:"breakerState"`
+	BreakerOpens      int64   `json:"breakerOpens"`
+	InjectedFaults    int64   `json:"injectedFaults"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -389,6 +587,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			WriteLockWaitUS:   st.WriteLockWait.Microseconds(),
 			RecostCacheHits:   st.RecostCacheHits,
 			RecostCacheMisses: st.RecostCacheMisses,
+			Degraded:          st.DegradedDecisions,
+			ReadPathErrors:    st.ReadPathErrors,
+			BreakerState:      st.BreakerState.String(),
+			BreakerOpens:      st.BreakerOpens,
+			InjectedFaults:    st.InjectedFaults,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Template < out[j].Template })

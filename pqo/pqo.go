@@ -55,6 +55,14 @@ type (
 	SnapshotSummary = core.SnapshotSummary
 	// SnapshotPlan summarizes one cached plan within a snapshot.
 	SnapshotPlan = core.SnapshotPlan
+	// DegradedReason explains why a decision was served without the λ
+	// guarantee (Decision.Degraded).
+	DegradedReason = core.DegradedReason
+	// BreakerState is the optimizer circuit breaker's state.
+	BreakerState = core.BreakerState
+	// FaultReporter is implemented by engines that count injected faults
+	// (internal/faultinject); Stats picks the count up automatically.
+	FaultReporter = core.FaultReporter
 )
 
 // Decision provenance values.
@@ -63,6 +71,22 @@ const (
 	ViaSelectivity = core.ViaSelectivity
 	ViaCost        = core.ViaCost
 	ViaInference   = core.ViaInference
+	ViaFallback    = core.ViaFallback
+)
+
+// Degraded-decision reasons (Decision.DegradedReason).
+const (
+	DegradedBreakerOpen      = core.DegradedBreakerOpen
+	DegradedOptimizerTimeout = core.DegradedOptimizerTimeout
+	DegradedOptimizerPanic   = core.DegradedOptimizerPanic
+	DegradedOptimizerError   = core.DegradedOptimizerError
+)
+
+// Circuit breaker states (Stats.BreakerState).
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
 )
 
 // Scan orders for WithScanOrder.
@@ -74,10 +98,14 @@ const (
 
 // Sentinel errors; match with errors.Is.
 var (
-	ErrNoPlan          = core.ErrNoPlan
-	ErrBudgetExhausted = core.ErrBudgetExhausted
-	ErrCancelled       = core.ErrCancelled
-	ErrInvalidConfig   = core.ErrInvalidConfig
+	ErrNoPlan           = core.ErrNoPlan
+	ErrBudgetExhausted  = core.ErrBudgetExhausted
+	ErrCancelled        = core.ErrCancelled
+	ErrInvalidConfig    = core.ErrInvalidConfig
+	ErrOptimizerTimeout = core.ErrOptimizerTimeout
+	ErrOptimizerPanic   = core.ErrOptimizerPanic
+	ErrBreakerOpen      = core.ErrBreakerOpen
+	ErrUnavailable      = core.ErrUnavailable
 )
 
 // New builds an SCR plan cache over eng from functional options; see the
@@ -98,6 +126,9 @@ var (
 	WithCandidateOrderByL   = core.WithCandidateOrderByL
 	WithScanOrder           = core.WithScanOrder
 	WithViolationDetection  = core.WithViolationDetection
+	WithDegradedFallback    = core.WithDegradedFallback
+	WithOptimizerDeadline   = core.WithOptimizerDeadline
+	WithCircuitBreaker      = core.WithCircuitBreaker
 )
 
 // InspectSnapshot parses an SCR.Export-produced snapshot and returns its

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Resilience-overhead benchmark driver (PR4: fault injection + degraded
+# mode). Measures SCR throughput with the full resilience configuration
+# armed but idle — degraded fallback on, circuit breaker closed, optimizer
+# deadline far above planning time — against the plain configuration, on
+# identical traffic. The acceptance bar is "within noise": the resilience
+# layer adds work only on optimizer misses, never on the read-path hot
+# loop.
+#
+#   ./scripts/bench_resilience.sh             # run benches, write BENCH_PR4.json
+#   ./scripts/bench_resilience.sh -count 5    # extra flags forwarded to `go test`
+#
+# Emits BENCH_PR4.json with both variants plus the PR2 reference number
+# for BenchmarkProcessParallel/rwmutex, so the hot-path trajectory stays
+# recorded in-repo.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_PR4.json
+TXT=$(mktemp)
+trap 'rm -f "$TXT"' EXIT
+
+go test ./internal/core/ -run '^$' \
+    -bench 'BenchmarkProcessParallelResilient' -cpu 8 -benchmem "$@" | tee "$TXT"
+
+awk '
+/ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op" && (!(name in ns) || $(i-1) + 0 < ns[name])) {
+            ns[name] = $(i-1) + 0
+            for (j = i; j <= NF; j++) {
+                if ($(j) == "B/op")      bytes[name]  = $(j-1) + 0
+                if ($(j) == "allocs/op") allocs[name] = $(j-1) + 0
+            }
+        }
+    }
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"pr\": 4,\n"
+    printf "  \"note\": \"resilient = degraded fallback + closed circuit breaker + 100ms optimizer deadline on a healthy engine; must be within noise of baseline (PR2 rwmutex reference: 8959 ns/op)\",\n"
+    printf "  \"pr2_reference\": {\"BenchmarkProcessParallel/rwmutex\": {\"ns_per_op\": 8959, \"bytes_per_op\": 219, \"allocs_per_op\": 2}},\n"
+    printf "  \"current\": {\n"
+    first = 1
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns[name], bytes[name], allocs[name]
+    }
+    printf "\n  }\n}\n"
+}' "$TXT" > "$OUT"
+
+echo "bench_resilience.sh: wrote $OUT"
+cat "$OUT"

@@ -8,6 +8,10 @@
 #   ./scripts/check.sh          # vet + build + tests + targeted race pass
 #   ./scripts/check.sh -lint    # additionally run pqolint + extra analyzers
 #   ./scripts/check.sh -bench   # additionally run the parallel benchmarks
+#   ./scripts/check.sh -chaos   # additionally run the full chaos profiles
+#
+# The short chaos profile (fault-injected serving, docs/ROBUSTNESS.md) is
+# part of the default test suite; -chaos runs the long streams.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,7 +19,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core/ ./internal/server/ ./internal/engine/ \
-    ./internal/baselines/ ./internal/harness/ ./internal/memo/
+    ./internal/baselines/ ./internal/harness/ ./internal/memo/ \
+    ./internal/faultinject/
 
 run_lint() {
     # pqolint: the repo's invariant analyzers (docs/LINT.md). Driven through
@@ -53,6 +58,12 @@ case "${1:-}" in
         -bench 'BenchmarkOptimize$|BenchmarkRecost$'
     go test ./internal/core/ -run '^$' -bench BenchmarkProcessParallel -cpu 8
     go test ./internal/server/ -run '^$' -bench BenchmarkServerParallel -cpu 8
+    ;;
+-chaos)
+    # Full chaos streams: long fault-injected request replays under the
+    # race detector (the short profile already runs in the default suite).
+    go test -race ./internal/server/ -run 'TestChaos' -chaos.full \
+        -count=1 -timeout 600s -v
     ;;
 esac
 
