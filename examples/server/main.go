@@ -8,12 +8,18 @@
 // Run with:  go run ./examples/server [-addr :8080] [-snapshot dir]
 // Then:
 //
-//	curl -s localhost:8080/templates
-//	curl -s -X POST localhost:8080/plan \
+//	curl -s localhost:8080/v1/templates
+//	curl -s -X POST localhost:8080/v1/plan \
 //	     -d '{"template":"dashboard","sVector":[0.01,0.2]}'
-//	curl -s localhost:8080/stats
-//	curl -s localhost:8080/metrics
-//	curl -s -X POST localhost:8080/snapshot
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/metrics
+//	curl -s -X POST localhost:8080/v1/snapshot
+//	curl -s -X POST localhost:8080/v1/admin/stats -d '{"resampleSeed":7}'
+//	curl -s localhost:8080/v1/admin/epochs
+//	curl -s localhost:8080/v1/openapi.json
+//
+// The unversioned paths from earlier releases still answer with 308
+// permanent redirects to their /v1 equivalents.
 package main
 
 import (
@@ -109,5 +115,8 @@ func newServer(lambda float64, snapshot string, timeout time.Duration) (*server.
 			return nil, err
 		}
 	}
+	// Attaching the system enables the /v1/admin endpoints: online
+	// statistics refresh with epoch-based background revalidation.
+	srv.SetSystem(sys)
 	return srv, nil
 }

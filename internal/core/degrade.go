@@ -71,6 +71,7 @@ func (s *SCR) degrade(sv []float64, reason DegradedReason, cause error) (*Decisi
 		Via:            ViaFallback,
 		Degraded:       true,
 		DegradedReason: reason,
+		Epoch:          s.statsEpoch(),
 	}, nil
 }
 
@@ -111,24 +112,28 @@ func (s *SCR) safeRecost(pi *engine.PreparedInstance, cp *engine.CachedPlan, sv 
 // optResult carries one optimizer call's outcome across the deadline
 // boundary.
 type optResult struct {
-	cp   *engine.CachedPlan
-	cost float64
-	err  error
+	cp    *engine.CachedPlan
+	cost  float64
+	epoch uint64
+	err   error
 }
 
 // callOptimizer runs the full optimizer call through the resilience
 // layer: the circuit breaker gates it, the optional deadline bounds it,
 // and panics become ErrOptimizerPanic. When none of the resilience knobs
 // are configured this is exactly the bare engine call — the existing fast
-// path.
-func (s *SCR) callOptimizer(ctx context.Context, sv []float64) (*engine.CachedPlan, float64, error) {
+// path. The returned epoch is the statistics generation the search ran
+// under (0 for epoch-less engines). The background revalidator funnels
+// its optimizer calls through here too, so it honors the same breaker and
+// fault-injection sites as foreground traffic.
+func (s *SCR) callOptimizer(ctx context.Context, sv []float64) (*engine.CachedPlan, float64, uint64, error) {
 	if s.breaker == nil && s.cfg.OptimizerDeadline <= 0 && !s.cfg.DegradedFallback {
-		return s.eng.Optimize(sv)
+		return s.engOptimize(sv)
 	}
 	if !s.breaker.Allow() {
-		return nil, 0, fmt.Errorf("%w: optimizer calls suspended", ErrBreakerOpen)
+		return nil, 0, 0, fmt.Errorf("%w: optimizer calls suspended", ErrBreakerOpen)
 	}
-	cp, cost, err := s.optimizeBounded(ctx, sv)
+	cp, cost, epoch, err := s.optimizeBounded(ctx, sv)
 	switch {
 	case err == nil:
 		s.breaker.RecordSuccess()
@@ -138,7 +143,17 @@ func (s *SCR) callOptimizer(ctx context.Context, sv []float64) (*engine.CachedPl
 	default:
 		s.breaker.RecordFailure()
 	}
-	return cp, cost, err
+	return cp, cost, epoch, err
+}
+
+// engOptimize is the bare engine call, epoch-reporting when the engine
+// supports it.
+func (s *SCR) engOptimize(sv []float64) (*engine.CachedPlan, float64, uint64, error) {
+	if s.epochEng != nil {
+		return s.epochEng.OptimizeEpoch(sv)
+	}
+	cp, cost, err := s.eng.Optimize(sv)
+	return cp, cost, 0, err
 }
 
 // optimizeBounded runs Optimize under the configured deadline. Without a
@@ -147,7 +162,7 @@ func (s *SCR) callOptimizer(ctx context.Context, sv []float64) (*engine.CachedPl
 // call is abandoned — but left running, and its result is adopted into the
 // cache on completion, so a slow optimizer still warms the cache for
 // future instances.
-func (s *SCR) optimizeBounded(ctx context.Context, sv []float64) (*engine.CachedPlan, float64, error) {
+func (s *SCR) optimizeBounded(ctx context.Context, sv []float64) (*engine.CachedPlan, float64, uint64, error) {
 	d := s.cfg.OptimizerDeadline
 	if d <= 0 {
 		return s.safeOptimize(sv)
@@ -159,31 +174,31 @@ func (s *SCR) optimizeBounded(ctx context.Context, sv []float64) (*engine.Cached
 	ch := make(chan optResult, 1)
 	go func() {
 		var r optResult
-		r.cp, r.cost, r.err = s.safeOptimize(svc)
+		r.cp, r.cost, r.epoch, r.err = s.safeOptimize(svc)
 		ch <- r
 	}()
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
-		return r.cp, r.cost, r.err
+		return r.cp, r.cost, r.epoch, r.err
 	case <-timer.C:
 		go s.adoptLateResult(svc, ch)
-		return nil, 0, fmt.Errorf("%w (budget %v)", ErrOptimizerTimeout, d)
+		return nil, 0, 0, fmt.Errorf("%w (budget %v)", ErrOptimizerTimeout, d)
 	case <-ctx.Done():
 		go s.adoptLateResult(svc, ch)
-		return nil, 0, cancelled(ctx.Err())
+		return nil, 0, 0, cancelled(ctx.Err())
 	}
 }
 
-// safeOptimize is Engine.Optimize with panic containment.
-func (s *SCR) safeOptimize(sv []float64) (cp *engine.CachedPlan, cost float64, err error) {
+// safeOptimize is the bare optimizer call with panic containment.
+func (s *SCR) safeOptimize(sv []float64) (cp *engine.CachedPlan, cost float64, epoch uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			cp, cost, err = nil, 0, fmt.Errorf("%w: %v", ErrOptimizerPanic, r)
+			cp, cost, epoch, err = nil, 0, 0, fmt.Errorf("%w: %v", ErrOptimizerPanic, r)
 		}
 	}()
-	return s.eng.Optimize(sv)
+	return s.engOptimize(sv)
 }
 
 // adoptLateResult waits for an abandoned optimizer call and, if it
@@ -195,7 +210,7 @@ func (s *SCR) adoptLateResult(sv []float64, ch <-chan optResult) {
 		return
 	}
 	s.ctr.optCalls.Add(1)
-	if err := s.storePlan(sv, r.cp, r.cost); err != nil {
+	if err := s.storePlan(sv, r.cp, r.cost, r.epoch); err != nil {
 		_ = err // cache bookkeeping failed; nothing is waiting on this call
 	}
 }

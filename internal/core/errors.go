@@ -37,4 +37,8 @@ var (
 	// impossible: the optimizer is failing (or gated by the breaker) and
 	// the plan cache holds nothing to serve instead.
 	ErrUnavailable = errors.New("pqo: degraded and no cached plan available")
+	// ErrEpochUnsupported reports that an epoch-lifecycle operation
+	// (revalidation, epoch-tagged serving) was requested on an engine with
+	// no versioned-statistics surface (core.EpochEngine).
+	ErrEpochUnsupported = errors.New("pqo: engine has no statistics-epoch lifecycle")
 )

@@ -3,6 +3,7 @@ package core_test
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -81,6 +82,120 @@ func BenchmarkProcessParallelResilient(b *testing.B) {
 			core.WithCircuitBreaker(5, time.Second))
 		benchParallel(b, scr.Process, warm)
 	})
+}
+
+// slowEpochEngine is slowEngine for the epoch lifecycle: the simulated
+// planning latency applies to the epoch-aware optimize path too, so
+// background revalidation (which re-optimizes anchors) exerts realistic
+// pressure on the serving benchmark.
+type slowEpochEngine struct {
+	*pqotest.EpochEngine
+}
+
+func (e *slowEpochEngine) OptimizeEpoch(sv []float64) (*engine.CachedPlan, float64, uint64, error) {
+	time.Sleep(optimizerDelay)
+	return e.EpochEngine.OptimizeEpoch(sv)
+}
+
+func (e *slowEpochEngine) Optimize(sv []float64) (*engine.CachedPlan, float64, error) {
+	cp, c, _, err := e.OptimizeEpoch(sv)
+	return cp, c, err
+}
+
+// BenchmarkProcessDuringRevalidation measures steady-state Process
+// latency while background epoch revalidation is continuously running,
+// against the same traffic with no revalidation at all. Both variants
+// report tail latency as "p99-ns"; scripts/bench_smoke.sh fails if the
+// revalidating p99 exceeds 2× the steady p99 — the "stats refresh must
+// not be a self-inflicted cold start" bar from docs/STATS.md.
+func BenchmarkProcessDuringRevalidation(b *testing.B) {
+	b.Run("steady", func(b *testing.B) { benchRevalidation(b, false) })
+	b.Run("revalidating", func(b *testing.B) { benchRevalidation(b, true) })
+}
+
+func benchRevalidation(b *testing.B, revalidate bool) {
+	rng := rand.New(rand.NewSource(11))
+	eng, err := pqotest.RandomEngine(rng, 4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	se := &slowEpochEngine{pqotest.NewEpochEngine(eng)}
+	scr, err := core.New(se, core.WithLambda(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	warm := make([][]float64, 16)
+	for i := range warm {
+		warm[i] = pqotest.RandomSVector(rng, 4)
+		if _, err := scr.Process(ctx, warm[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var stopped sync.WaitGroup
+	if revalidate {
+		// Keep a revalidation run permanently in flight: advance the
+		// epoch, revalidate the whole cache, repeat.
+		stopped.Add(1)
+		go func() {
+			defer stopped.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				se.Advance()
+				run, err := scr.Revalidate(ctx, core.DefaultRevalidationWorkers)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				select {
+				case <-run.Done():
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	var (
+		latMu sync.Mutex
+		lats  []time.Duration
+	)
+	var gid atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(gid.Add(1)))
+		local := make([]time.Duration, 0, 1024)
+		for pb.Next() {
+			var sv []float64
+			if rng.Float64() < 0.9 {
+				sv = warm[rng.Intn(len(warm))]
+			} else {
+				sv = pqotest.RandomSVector(rng, 4)
+			}
+			t0 := time.Now()
+			if _, err := scr.Process(ctx, sv); err != nil {
+				b.Fatal(err)
+			}
+			local = append(local, time.Since(t0))
+		}
+		latMu.Lock()
+		lats = append(lats, local...)
+		latMu.Unlock()
+	})
+	b.StopTimer()
+	close(stop)
+	stopped.Wait()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99-ns")
+	}
 }
 
 // newWarmSCR builds an SCR over a synthetic 4-dimensional engine with

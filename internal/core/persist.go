@@ -50,8 +50,9 @@ func (s *SCR) Export() ([]byte, error) {
 		out.Plans = append(out.Plans, raw)
 	}
 	for _, e := range s.instances {
+		a := e.anc.Load()
 		out.Instances = append(out.Instances, instanceJSON{
-			V: e.v, PlanFP: e.pp.fp, C: e.c, S: e.s,
+			V: e.v, PlanFP: e.pp.fp, C: a.c, S: a.s,
 			U: e.u.Load(), Quarantined: e.quarantined.Load(),
 		})
 	}
@@ -102,6 +103,11 @@ func (s *SCR) Import(data []byte) error {
 		return fmt.Errorf("%w: import has %d plans, budget is %d", ErrBudgetExhausted, len(byFP), s.cfg.PlanBudget)
 	}
 	var insts []*instanceEntry
+	// Imported anchors are adopted into the engine's current statistics
+	// epoch: importing asserts the snapshot was taken against statistics
+	// equivalent to the present store (the pre-epoch semantics). A caller
+	// restoring against drifted statistics should Revalidate afterwards.
+	epoch := s.statsEpoch()
 	for i, ij := range in.Instances {
 		pe, ok := byFP[ij.PlanFP]
 		if !ok {
@@ -114,7 +120,7 @@ func (s *SCR) Import(data []byte) error {
 		if ij.C <= 0 || ij.S < 1 {
 			return fmt.Errorf("core: import instance %d has invalid C=%v S=%v", i, ij.C, ij.S)
 		}
-		e := newInstance(ij.V, pe, ij.C, ij.S, ij.U)
+		e := newInstance(ij.V, pe, ij.C, ij.S, ij.U, epoch)
 		e.quarantined.Store(ij.Quarantined)
 		insts = append(insts, e)
 	}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// This file is the background half of the statistics-epoch lifecycle
+// (docs/STATS.md): after AdvanceEpoch installs a new statistics
+// generation, Revalidate walks the plan cache and re-derives every
+// lagging anchor under the new epoch, so the read path returns to fully
+// guaranteed serving without ever flushing a cache or blocking a request.
+//
+// Ordering is cheapest-first by anchor optimal cost: cheap instances are
+// the ones dynamic λ bounds loosest and traffic hits most often in the
+// paper's workloads, so revalidating them first retires the largest share
+// of epoch-lag fallbacks per optimizer call.
+
+// DefaultRevalidationWorkers is the worker-pool size Revalidate uses when
+// the caller passes workers <= 0.
+const DefaultRevalidationWorkers = 2
+
+// Revalidation is a handle on one background revalidation run. All
+// methods are safe for concurrent use; counters advance while workers
+// run and freeze when the run finishes or is superseded.
+type Revalidation struct {
+	target uint64
+	total  int64
+
+	done       atomic.Int64
+	reanchored atomic.Int64
+	demoted    atomic.Int64
+	droppedI   atomic.Int64
+	droppedP   atomic.Int64
+	failed     atomic.Int64
+	superseded atomic.Bool
+
+	finished chan struct{}
+	cancel   context.CancelFunc
+}
+
+// RevalidationProgress is a point-in-time snapshot of a run's counters.
+type RevalidationProgress struct {
+	// TargetEpoch is the statistics epoch the run revalidates anchors to.
+	TargetEpoch uint64 `json:"targetEpoch"`
+	// Total is the number of lagging instance entries the run set out to
+	// revalidate; Done counts entries fully handled (whatever the outcome).
+	Total int64 `json:"total"`
+	Done  int64 `json:"done"`
+	// ReAnchored counts entries whose anchor was re-derived at the target
+	// epoch (same plan still optimal, or replaced by a fresh plan);
+	// Demoted counts entries whose plan survived with a recost-measured
+	// sub-optimality ≤ λr; DroppedInstances / DroppedPlans count entries
+	// and orphaned plans removed because the redundancy threshold no
+	// longer held; Failed counts entries whose revalidation errored.
+	ReAnchored       int64 `json:"reAnchored"`
+	Demoted          int64 `json:"demoted"`
+	DroppedInstances int64 `json:"droppedInstances"`
+	DroppedPlans     int64 `json:"droppedPlans"`
+	Failed           int64 `json:"failed"`
+	// Superseded reports the run was abandoned because the epoch advanced
+	// past its target (a newer run owns the remaining lag). Finished
+	// reports the run is no longer doing work, for either reason.
+	Superseded bool `json:"superseded"`
+	Finished   bool `json:"finished"`
+}
+
+// TargetEpoch returns the epoch the run revalidates anchors to.
+func (r *Revalidation) TargetEpoch() uint64 { return r.target }
+
+// Progress returns a snapshot of the run's counters.
+func (r *Revalidation) Progress() RevalidationProgress {
+	p := RevalidationProgress{
+		TargetEpoch:      r.target,
+		Total:            r.total,
+		Done:             r.done.Load(),
+		ReAnchored:       r.reanchored.Load(),
+		Demoted:          r.demoted.Load(),
+		DroppedInstances: r.droppedI.Load(),
+		DroppedPlans:     r.droppedP.Load(),
+		Failed:           r.failed.Load(),
+		Superseded:       r.superseded.Load(),
+	}
+	select {
+	case <-r.finished:
+		p.Finished = true
+	default:
+	}
+	return p
+}
+
+// Done returns a channel closed when the run finishes or is superseded.
+func (r *Revalidation) Done() <-chan struct{} { return r.finished }
+
+// Wait blocks until the run finishes (or ctx is cancelled).
+func (r *Revalidation) Wait(ctx context.Context) error {
+	select {
+	case <-r.finished:
+		return nil
+	case <-ctx.Done():
+		return cancelled(ctx.Err())
+	}
+}
+
+// supersede marks the run abandoned and stops its workers.
+func (r *Revalidation) supersede() {
+	r.superseded.Store(true)
+	r.cancel()
+}
+
+// CurrentRevalidation returns the most recent revalidation run (possibly
+// finished or superseded), or nil if none was ever started.
+func (s *SCR) CurrentRevalidation() *Revalidation { return s.reval.Load() }
+
+// Revalidate starts a background revalidation of every instance entry
+// whose anchor lags the engine's current statistics epoch, using a pool
+// of `workers` goroutines (DefaultRevalidationWorkers when <= 0). It
+// returns immediately with a handle; cancel ctx or let a later
+// Revalidate supersede the run to stop it early. A run already in flight
+// is superseded — its remaining lag belongs to the new run.
+//
+// Revalidation optimizer calls funnel through the same resilience layer
+// as foreground traffic (circuit breaker, deadline, panic containment,
+// fault injection), so a sick optimizer degrades revalidation instead of
+// revalidation masking the sickness.
+func (s *SCR) Revalidate(ctx context.Context, workers int) (*Revalidation, error) {
+	if s.epochEng == nil {
+		return nil, ErrEpochUnsupported
+	}
+	if workers <= 0 {
+		workers = DefaultRevalidationWorkers
+	}
+	target := s.statsEpoch()
+	insts, _ := s.snapshot()
+	lag := make([]*instanceEntry, 0)
+	for _, e := range insts {
+		if e.anc.Load().epoch != target {
+			lag = append(lag, e)
+		}
+	}
+	// Cheapest-first (ties broken by plan fingerprint for determinism).
+	sort.SliceStable(lag, func(i, j int) bool {
+		ai, aj := lag[i].anc.Load(), lag[j].anc.Load()
+		if ai.c != aj.c {
+			return ai.c < aj.c
+		}
+		return lag[i].pp.fp < lag[j].pp.fp
+	})
+
+	rctx, cancel := context.WithCancel(ctx)
+	r := &Revalidation{
+		target:   target,
+		total:    int64(len(lag)),
+		finished: make(chan struct{}),
+		cancel:   cancel,
+	}
+	if prev := s.reval.Swap(r); prev != nil {
+		prev.supersede()
+	}
+	if len(lag) == 0 {
+		cancel()
+		close(r.finished)
+		return r, nil
+	}
+
+	work := make(chan *instanceEntry)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range work {
+				s.revalidateEntry(rctx, r, e)
+			}
+		}()
+	}
+	go func() {
+	feed:
+		for _, e := range lag {
+			select {
+			case work <- e:
+			case <-rctx.Done():
+				break feed
+			}
+		}
+		close(work)
+		wg.Wait()
+		cancel()
+		close(r.finished)
+	}()
+	return r, nil
+}
+
+// revalidateEntry re-derives one lagging anchor under the run's target
+// epoch: one full optimizer call at the entry's vector, then
+//
+//   - same plan still optimal  → re-anchor in place at S = 1;
+//   - plan changed, old plan's recost ratio S' ≤ λr → demote in place
+//     (the redundancy check's own threshold: the old plan is exactly as
+//     acceptable as a redundant new plan would have been);
+//   - otherwise → drop the entry (and its plan if orphaned) and insert
+//     the fresh plan through the normal cache-management path.
+//
+// A cancelled context (superseded run, shutdown) is not a failure; any
+// other error leaves the anchor lagging and counts as Failed.
+func (s *SCR) revalidateEntry(ctx context.Context, r *Revalidation, e *instanceEntry) {
+	defer r.done.Add(1)
+	if ctx.Err() != nil {
+		return
+	}
+	if e.anc.Load().epoch == r.target {
+		return // already caught up (e.g. replaced by a concurrent insert)
+	}
+	if s.statsEpoch() != r.target {
+		r.supersede()
+		return
+	}
+	cp, optCost, ep, err := s.callOptimizer(ctx, e.v)
+	if err == nil && cp == nil {
+		err = ErrNoPlan
+	}
+	if err != nil {
+		if errors.Is(err, ErrCancelled) {
+			return
+		}
+		r.failed.Add(1)
+		s.ctr.revalFailed.Add(1)
+		return
+	}
+	s.ctr.optCalls.Add(1)
+	if ep != r.target {
+		// The epoch advanced mid-call; a newer run owns this lag now.
+		r.supersede()
+		return
+	}
+	if cp.Fingerprint() == e.pp.fp {
+		e.anc.Store(&anchor{c: optCost, s: 1, epoch: ep})
+		r.reanchored.Add(1)
+		s.ctr.revalidated.Add(1)
+		return
+	}
+	// The optimal plan changed under the new statistics: measure the old
+	// plan's residual sub-optimality at the anchor.
+	oldCost, recEpoch, err := s.recostWithEpoch(nil, e.pp.cp, e.v)
+	if err != nil {
+		r.failed.Add(1)
+		s.ctr.revalFailed.Add(1)
+		return
+	}
+	s.ctr.manageRecosts.Add(1)
+	if recEpoch != r.target {
+		r.supersede()
+		return
+	}
+	sNew := oldCost / optCost
+	if sNew < 1 {
+		// Stats noise put the cached plan below the new "optimal" —
+		// sub-optimality is bounded by 1 by definition.
+		sNew = 1
+	}
+	if sNew <= s.cfg.lambdaR() {
+		e.anc.Store(&anchor{c: optCost, s: sNew, epoch: ep})
+		r.demoted.Add(1)
+		s.ctr.revalDemoted.Add(1)
+		s.ctr.revalidated.Add(1)
+		return
+	}
+	s.replaceInstance(e, cp, optCost, ep, r)
+}
+
+// replaceInstance drops a lagging entry whose plan failed the λr
+// threshold under the new epoch — removing the plan too if no other
+// entry references it — and inserts the freshly optimized plan through
+// manageCache at the target epoch.
+func (s *SCR) replaceInstance(e *instanceEntry, cp *engine.CachedPlan, optCost float64, epoch uint64, r *Revalidation) {
+	s.lock()
+	defer s.mu.Unlock()
+	found := false
+	orphaned := true
+	kept := make([]*instanceEntry, 0, len(s.instances))
+	for _, o := range s.instances {
+		if o == e {
+			found = true
+			continue
+		}
+		kept = append(kept, o)
+		if o.pp == e.pp {
+			orphaned = false
+		}
+	}
+	if !found {
+		// The entry was evicted or swept while we optimized; nothing to
+		// replace.
+		return
+	}
+	s.instances = kept
+	r.droppedI.Add(1)
+	s.ctr.revalDroppedI.Add(1)
+	if orphaned {
+		delete(s.plans, e.pp.fp)
+		r.droppedP.Add(1)
+		s.ctr.revalDroppedP.Add(1)
+	}
+	if err := s.manageCache(e.v, cp, optCost, epoch); err != nil {
+		r.failed.Add(1)
+		s.ctr.revalFailed.Add(1)
+		return
+	}
+	r.reanchored.Add(1)
+	s.ctr.revalidated.Add(1)
+}

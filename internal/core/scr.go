@@ -153,23 +153,39 @@ type planEntry struct {
 	fp string
 }
 
+// anchor is the guarantee-bearing core of an instance entry: the optimal
+// cost C and sub-optimality S of §6.1's 5-tuple, tagged with the
+// statistics epoch they were derived under. C and S are only meaningful
+// together and only against one statistics generation, so they live in a
+// single immutable struct behind an atomic pointer — readers always
+// observe a consistent (C, S, epoch) triple, and the background
+// revalidator re-anchors entries by swapping the pointer without taking
+// the cache's write lock.
+type anchor struct {
+	c     float64 // C: optimizer-estimated optimal cost at V
+	s     float64 // S: sub-optimality of PP at V
+	epoch uint64  // statistics epoch C and S were derived under
+}
+
 // instanceEntry is the 5-tuple I = <V, PP, C, S, U> of §6.1, plus the
-// Appendix G quarantine flag. The immutable fields (v, pp, c, s) are set at
-// insertion under the write lock; the mutable fields (u, quarantined) are
-// atomics so the read path can update them under the shared read lock.
+// Appendix G quarantine flag. The immutable fields (v, pp) are set at
+// insertion under the write lock; the anchor (C, S, epoch) is an atomic
+// pointer swapped by revalidation; the remaining mutable fields (u,
+// quarantined) are atomics so the read path can update them under the
+// shared read lock.
 type instanceEntry struct {
-	v  []float64    // V: selectivity vector of the optimized instance
-	pp *planEntry   // PP: plan assigned to this instance
-	c  float64      // C: optimizer-estimated optimal cost at V
-	s  float64      // S: sub-optimality of PP at V
-	u  atomic.Int64 // U: usage count (instances served through this entry)
+	v   []float64 // V: selectivity vector of the optimized instance
+	pp  *planEntry
+	anc atomic.Pointer[anchor]
+	u   atomic.Int64 // U: usage count (instances served through this entry)
 	// quarantined excludes the entry from cost-check reuse after a BCG
 	// violation was observed through it (Appendix G).
 	quarantined atomic.Bool
 }
 
-func newInstance(v []float64, pp *planEntry, c, s float64, u int64) *instanceEntry {
-	e := &instanceEntry{v: v, pp: pp, c: c, s: s}
+func newInstance(v []float64, pp *planEntry, c, s float64, u int64, epoch uint64) *instanceEntry {
+	e := &instanceEntry{v: v, pp: pp}
+	e.anc.Store(&anchor{c: c, s: s, epoch: epoch})
 	e.u.Store(u)
 	return e
 }
@@ -192,6 +208,16 @@ type counters struct {
 	writeLockWaitNs atomic.Int64
 	degraded        atomic.Int64
 	readPathErrors  atomic.Int64
+	// Epoch lifecycle counters (revalidate.go): instances served flagged
+	// because their candidates lagged the current epoch, anchors
+	// revalidated, entries demoted in place, entries/plans dropped, and
+	// revalidation attempts that errored.
+	epochLagServed atomic.Int64
+	revalidated    atomic.Int64
+	revalDemoted   atomic.Int64
+	revalDroppedI  atomic.Int64
+	revalDroppedP  atomic.Int64
+	revalFailed    atomic.Int64
 }
 
 // SCR is the paper's technique: an online PQO plan cache driven by the
@@ -209,6 +235,13 @@ type counters struct {
 type SCR struct {
 	cfg Config
 	eng Engine
+	// epochEng is eng's versioned-statistics surface, nil when the engine
+	// has no epoch lifecycle (then every anchor is at epoch 0 forever and
+	// the epoch machinery is inert).
+	epochEng EpochEngine
+	// reval is the in-flight background revalidation, if any; superseded
+	// runs are cancelled and replaced (revalidate.go).
+	reval atomic.Pointer[Revalidation]
 	// breaker gates optimizer calls when WithCircuitBreaker is set; nil
 	// (the default) always allows.
 	breaker *breaker
@@ -237,10 +270,22 @@ func NewSCR(eng Engine, cfg Config) (*SCR, error) {
 		return nil, err
 	}
 	s := &SCR{cfg: cfg, eng: eng, plans: make(map[string]*planEntry)}
+	if ee, ok := eng.(EpochEngine); ok {
+		s.epochEng = ee
+	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return s, nil
+}
+
+// statsEpoch returns the engine's current statistics epoch id, 0 for
+// epoch-less engines.
+func (s *SCR) statsEpoch() uint64 {
+	if s.epochEng != nil {
+		return s.epochEng.StatsEpoch()
+	}
+	return 0
 }
 
 // Name identifies the technique and its λ, e.g. "SCR(2)".
@@ -274,6 +319,18 @@ func (s *SCR) Stats() Stats {
 	}
 	st.DegradedDecisions = s.ctr.degraded.Load()
 	st.ReadPathErrors = s.ctr.readPathErrors.Load()
+	st.StatsEpoch = s.statsEpoch()
+	st.EpochLagFallbacks = s.ctr.epochLagServed.Load()
+	st.RevalidatedPlans = s.ctr.revalidated.Load()
+	st.RevalDemoted = s.ctr.revalDemoted.Load()
+	st.RevalDroppedInstances = s.ctr.revalDroppedI.Load()
+	st.RevalDroppedPlans = s.ctr.revalDroppedP.Load()
+	st.RevalFailed = s.ctr.revalFailed.Load()
+	for _, e := range s.instances {
+		if e.anc.Load().epoch < st.StatsEpoch {
+			st.LaggingInstances++
+		}
+	}
 	st.BreakerState = s.breaker.State()
 	st.BreakerOpens, st.BreakerHalfOpens, st.BreakerCloses = s.breaker.Counters()
 	if rep, ok := s.eng.(CacheReporter); ok {
@@ -311,6 +368,31 @@ func (s *SCR) recostWith(pi *engine.PreparedInstance, cp *engine.CachedPlan, sv 
 		return pi.Recost(cp)
 	}
 	return s.eng.Recost(cp, sv)
+}
+
+// recostWithEpoch is recostWith plus the statistics epoch the cost was
+// derived under (0 for epoch-less engines). The epoch comes from the
+// prepared instance's pinned environment when batching, else from the
+// engine's per-call epoch report.
+func (s *SCR) recostWithEpoch(pi *engine.PreparedInstance, cp *engine.CachedPlan, sv []float64) (float64, uint64, error) {
+	if pi != nil {
+		c, err := pi.Recost(cp)
+		return c, pi.EpochID(), err
+	}
+	if s.epochEng != nil {
+		return s.epochEng.RecostEpoch(cp, sv)
+	}
+	c, err := s.eng.Recost(cp, sv)
+	return c, 0, err
+}
+
+// prepareEpoch returns the epoch a prepared instance is pinned to; for
+// the non-batched path it falls back to the engine's current epoch.
+func (s *SCR) prepareEpoch(pi *engine.PreparedInstance) uint64 {
+	if pi != nil {
+		return pi.EpochID()
+	}
+	return s.statsEpoch()
 }
 
 // rlock acquires the read lock, charging the wait to the read-path
@@ -392,7 +474,7 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 		if err := ctx.Err(); err != nil {
 			return nil, cancelled(err)
 		}
-		cp, optCost, err := s.callOptimizer(ctx, sv)
+		cp, optCost, ep, err := s.callOptimizer(ctx, sv)
 		if err == nil && cp == nil {
 			err = fmt.Errorf("%w: optimizer returned no plan", ErrNoPlan)
 		}
@@ -403,15 +485,15 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 			return nil, err
 		}
 		s.ctr.optCalls.Add(1)
-		if err := s.storePlan(sv, cp, optCost); err != nil {
+		if err := s.storePlan(sv, cp, optCost, ep); err != nil {
 			if s.cfg.DegradedFallback {
 				// The freshly optimized plan is λ-optimal here by
 				// definition; only the cache bookkeeping failed. Serve it.
-				return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
+				return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer, Epoch: ep}, nil
 			}
 			return nil, err
 		}
-		return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer}, nil
+		return &Decision{Plan: cp, Optimized: true, Via: ViaOptimizer, Epoch: ep}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -427,11 +509,12 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 }
 
 // storePlan records a freshly optimized (plan, instance) pair under the
-// write lock (Algorithm 2).
-func (s *SCR) storePlan(sv []float64, cp *engine.CachedPlan, optCost float64) error {
+// write lock (Algorithm 2). epoch is the statistics generation optCost
+// was derived under; the new anchor is tagged with it.
+func (s *SCR) storePlan(sv []float64, cp *engine.CachedPlan, optCost float64, epoch uint64) error {
 	s.lock()
 	defer s.mu.Unlock()
-	return s.manageCache(sv, cp, optCost)
+	return s.manageCache(sv, cp, optCost, epoch)
 }
 
 // maybeResort refreshes the instance-list ordering per the configured scan
@@ -480,9 +563,21 @@ func (s *SCR) readPath(ctx context.Context, sv []float64) (*Decision, int64, err
 // order. Returns (nil, nil) if no cached plan can be inferred λ-optimal.
 // Runs lock-free over an immutable snapshot of the instance list; it
 // mutates only atomic fields.
+//
+// Epoch semantics during revalidation lag: an entry anchored under an
+// older epoch still serves through the selectivity check — its λ bound
+// holds against the generation it was derived under, and the Decision
+// carries that epoch. The cost check, however, must not mix generations
+// (a stale anchor's C against a fresh recost would make R meaningless),
+// so lagging entries are excluded from cost-check candidacy; if the
+// current-epoch candidates all fail, the best lagging candidate is served
+// as an explicitly flagged fallback instead of stampeding the optimizer
+// while the background revalidator catches the cache up.
 func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry) (*Decision, error) {
+	cur := s.statsEpoch()
 	type cand struct {
 		e  *instanceEntry
+		a  *anchor
 		gl float64
 		l  float64
 	}
@@ -530,69 +625,114 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 		cands[i] = c
 	}
 
+	// lagBest tracks the most promising (lowest GL) non-quarantined entry
+	// anchored under an older epoch, for the flagged fallback below.
+	var (
+		lagBest *instanceEntry
+		lagAnc  *anchor
+		lagGL   float64
+	)
+
 	examined := 0
 	defer func() { s.ctr.selChecks.Add(int64(examined)) }()
 	for _, e := range insts {
 		examined++
+		a := e.anc.Load()
 		g, l, err := GLFactors(e.v, sv)
 		if err != nil {
 			return nil, err
 		}
-		lam := s.cfg.lambdaFor(e.c)
-		if g*l <= lam/e.s {
+		lam := s.cfg.lambdaFor(a.c)
+		if g*l <= lam/a.s {
 			e.u.Add(1)
-			return &Decision{Plan: e.pp.cp, Via: ViaSelectivity}, nil
+			return &Decision{Plan: e.pp.cp, Via: ViaSelectivity, Epoch: a.epoch}, nil
 		}
-		if !e.quarantined.Load() {
-			insert(cand{e: e, gl: g * l, l: l})
+		if e.quarantined.Load() {
+			continue
 		}
+		if a.epoch != cur {
+			if lagBest == nil || g*l < lagGL {
+				lagBest, lagAnc, lagGL = e, a, g*l
+			}
+			continue
+		}
+		insert(cand{e: e, a: a, gl: g * l, l: l})
 	}
 
-	if limit < 0 || len(cands) == 0 {
-		return nil, nil
-	}
-	tol := s.cfg.ViolationTolerance
-	if tol <= 0 {
-		tol = 0.01
-	}
-	// Batch: build selectivity state once for this instance, recost every
-	// cost-check candidate against it.
-	pi := s.prepareRecost(sv)
-	defer pi.Release()
-	for _, c := range cands {
-		if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
-			break
+	if limit >= 0 && len(cands) > 0 {
+		tol := s.cfg.ViolationTolerance
+		if tol <= 0 {
+			tol = 0.01
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, cancelled(err)
+		// Batch: build selectivity state once for this instance, recost
+		// every cost-check candidate against it. If the epoch advanced
+		// between the scan above and this preparation, the candidates'
+		// anchors no longer match the recost generation — skip the cost
+		// check for this lookup (the next one re-scans under the new
+		// epoch) rather than compare costs across generations.
+		pi := s.prepareRecost(sv)
+		defer pi.Release()
+		if s.prepareEpoch(pi) != cur {
+			cands = cands[:0]
 		}
-		newCost, err := s.recostWith(pi, c.e.pp.cp, sv)
-		if err != nil {
-			return nil, err
-		}
-		s.ctr.getPlanRecosts.Add(1)
-		if s.cfg.DetectViolations {
-			// Appendix G: the BCG bounds constrain the plan's own cost
-			// ratio between qe and qc; Cost(PP, qe) = C·S.
-			rPlan := newCost / (c.e.c * c.e.s)
-			g, l, err := GLFactors(c.e.v, sv)
+		for _, c := range cands {
+			if s.cfg.GLCutoff > 0 && c.gl > s.cfg.GLCutoff {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, cancelled(err)
+			}
+			newCost, recEpoch, err := s.recostWithEpoch(pi, c.e.pp.cp, sv)
 			if err != nil {
 				return nil, err
 			}
-			if ViolatesBCG(rPlan, g, l, tol) {
-				c.e.quarantined.Store(true)
-				s.ctr.violations.Add(1)
+			s.ctr.getPlanRecosts.Add(1)
+			if recEpoch != c.a.epoch {
+				// Advanced mid-loop (per-call recost path only): this
+				// candidate's anchor and recost disagree on generation.
 				continue
 			}
+			if s.cfg.DetectViolations {
+				// Appendix G: the BCG bounds constrain the plan's own cost
+				// ratio between qe and qc; Cost(PP, qe) = C·S.
+				rPlan := newCost / (c.a.c * c.a.s)
+				g, l, err := GLFactors(c.e.v, sv)
+				if err != nil {
+					return nil, err
+				}
+				if ViolatesBCG(rPlan, g, l, tol) {
+					c.e.quarantined.Store(true)
+					s.ctr.violations.Add(1)
+					continue
+				}
+			}
+			// §6.2: R = Cost(PP, qc) / C (C is the optimal cost at qe); the
+			// cost check is R·L ≤ λ/S.
+			r := newCost / c.a.c
+			lam := s.cfg.lambdaFor(c.a.c)
+			if r*c.l <= lam/c.a.s {
+				c.e.u.Add(1)
+				return &Decision{Plan: c.e.pp.cp, Via: ViaCost, Epoch: c.a.epoch}, nil
+			}
 		}
-		// §6.2: R = Cost(PP, qc) / C (C is the optimal cost at qe); the
-		// cost check is R·L ≤ λ/S.
-		r := newCost / c.e.c
-		lam := s.cfg.lambdaFor(c.e.c)
-		if r*c.l <= lam/c.e.s {
-			c.e.u.Add(1)
-			return &Decision{Plan: c.e.pp.cp, Via: ViaCost}, nil
-		}
+	}
+
+	if lagBest != nil {
+		// Every current-epoch avenue failed but a not-yet-revalidated
+		// entry is in reach: serve it flagged instead of optimizing. This
+		// bounds optimizer load during revalidation lag — the flagged
+		// plan was λ-valid under its own epoch, the decision says so, and
+		// the revalidator is already retiring the lag.
+		lagBest.u.Add(1)
+		s.ctr.epochLagServed.Add(1)
+		s.ctr.degraded.Add(1)
+		return &Decision{
+			Plan:           lagBest.pp.cp,
+			Via:            ViaFallback,
+			Degraded:       true,
+			DegradedReason: DegradedStatsEpochLag,
+			Epoch:          lagAnc.epoch,
+		}, nil
 	}
 	return nil, nil
 }
@@ -604,8 +744,9 @@ func (s *SCR) addInstance(e *instanceEntry) {
 
 // manageCache is Algorithm 2: record the optimized instance, running the
 // redundancy check for genuinely new plans and enforcing the plan budget.
-// Caller holds the write lock.
-func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) error {
+// epoch is the statistics generation optCost was derived under. Caller
+// holds the write lock.
+func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64, epoch uint64) error {
 	defer s.version.Add(1)
 	v := make([]float64, len(sv))
 	copy(v, sv)
@@ -614,12 +755,16 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) 
 	if pe, ok := s.plans[fp]; ok {
 		// Plan already cached: extend its inference region with this
 		// instance.
-		s.addInstance(newInstance(v, pe, optCost, 1, 1))
+		s.addInstance(newInstance(v, pe, optCost, 1, 1, epoch))
 		return nil
 	}
 
-	// New plan: redundancy check against the cached plans.
-	if !s.cfg.StoreAlways && len(s.plans) > 0 {
+	// New plan: redundancy check against the cached plans. The check
+	// compares optCost against recosts made under the *current* epoch, so
+	// it is only sound when the generation has not advanced since the
+	// optimizer call; after a mid-flight advance the plan is stored
+	// directly (always sound — the check is an optimization).
+	if !s.cfg.StoreAlways && len(s.plans) > 0 && epoch == s.statsEpoch() {
 		minPE, minCost, err := s.minCostPlan(sv)
 		if err != nil {
 			return err
@@ -629,7 +774,7 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) 
 			// Redundant: discard the new plan, bind the instance to the
 			// cheapest existing plan with its sub-optimality.
 			s.ctr.redundantPlans.Add(1)
-			s.addInstance(newInstance(v, minPE, optCost, sMin, 1))
+			s.addInstance(newInstance(v, minPE, optCost, sMin, 1, epoch))
 			return nil
 		}
 	}
@@ -639,7 +784,7 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64) 
 	}
 	pe := &planEntry{cp: cp, fp: fp}
 	s.plans[fp] = pe
-	s.addInstance(newInstance(v, pe, optCost, 1, 1))
+	s.addInstance(newInstance(v, pe, optCost, 1, 1, epoch))
 	if len(s.plans) > s.maxPlans {
 		s.maxPlans = len(s.plans)
 	}
@@ -718,20 +863,23 @@ func (s *SCR) ProbeCheck(sv []float64) Check {
 	insts, _ := s.snapshot()
 	type cand struct {
 		e  *instanceEntry
+		a  *anchor
 		gl float64
 		l  float64
 	}
+	cur := s.statsEpoch()
 	var cands []cand
 	for _, e := range insts {
+		a := e.anc.Load()
 		g, l, err := GLFactors(e.v, sv)
 		if err != nil {
 			return ViaOptimizer
 		}
-		if g*l <= s.cfg.lambdaFor(e.c)/e.s {
+		if g*l <= s.cfg.lambdaFor(a.c)/a.s {
 			return ViaSelectivity
 		}
-		if !e.quarantined.Load() {
-			cands = append(cands, cand{e: e, gl: g * l, l: l})
+		if !e.quarantined.Load() && a.epoch == cur {
+			cands = append(cands, cand{e: e, a: a, gl: g * l, l: l})
 		}
 	}
 	limit := s.cfg.costCheckLimit()
@@ -756,7 +904,7 @@ func (s *SCR) ProbeCheck(sv []float64) Check {
 		if err != nil {
 			return ViaOptimizer
 		}
-		if (newCost/c.e.c)*c.l <= s.cfg.lambdaFor(c.e.c)/c.e.s {
+		if (newCost/c.a.c)*c.l <= s.cfg.lambdaFor(c.a.c)/c.a.s {
 			return ViaCost
 		}
 	}
@@ -836,9 +984,15 @@ func (s *SCR) SweepRedundantPlans() (int, error) {
 // replacement instance entries bound to those alternatives.
 func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 	var rebound []*instanceEntry
+	cur := s.statsEpoch()
 	for _, e := range s.instances {
 		if e.pp != pe {
 			continue
+		}
+		if e.anc.Load().epoch != cur {
+			// A lagging anchor cannot be compared against current-epoch
+			// recosts; the plan is not sweepable until revalidated.
+			return false, nil, nil
 		}
 		var (
 			alt     *planEntry
@@ -866,11 +1020,12 @@ func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
 		if alt == nil {
 			return false, nil, nil
 		}
-		sAlt := altCost / e.c
-		if sAlt > s.cfg.lambdaFor(e.c) {
+		a := e.anc.Load()
+		sAlt := altCost / a.c
+		if sAlt > s.cfg.lambdaFor(a.c) {
 			return false, nil, nil
 		}
-		rebound = append(rebound, newInstance(e.v, alt, e.c, sAlt, e.u.Load()))
+		rebound = append(rebound, newInstance(e.v, alt, a.c, sAlt, e.u.Load(), a.epoch))
 	}
 	return true, rebound, nil
 }
@@ -913,7 +1068,7 @@ func (s *SCR) SeedInstance(sv []float64, cp *engine.CachedPlan, optCost, subOpt 
 	}
 	v := make([]float64, len(sv))
 	copy(v, sv)
-	s.addInstance(newInstance(v, pe, optCost, subOpt, 0))
+	s.addInstance(newInstance(v, pe, optCost, subOpt, 0, s.statsEpoch()))
 	s.version.Add(1)
 	return nil
 }

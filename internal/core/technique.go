@@ -74,6 +74,14 @@ type Decision struct {
 	// DegradedReason identifies the failure the fallback absorbed; empty
 	// unless Degraded.
 	DegradedReason DegradedReason
+	// Epoch is the id of the statistics epoch the decision's guarantee is
+	// stated against: the epoch of the anchor instance that inferred the
+	// plan (selectivity/cost check) or the epoch the optimizer call ran
+	// under. During revalidation lag an entry anchored under the previous
+	// epoch may serve with its old id — the λ bound then holds against
+	// that generation's statistics, not the newest. Zero when the engine
+	// has no epoch lifecycle.
+	Epoch uint64
 }
 
 // DegradedReason classifies why a decision was served without its λ
@@ -95,6 +103,13 @@ const (
 	// DegradedOptimizerError: the optimizer (or the cache-management
 	// recosting behind it) returned an error.
 	DegradedOptimizerError DegradedReason = "optimizer-error"
+	// DegradedStatsEpochLag: the statistics epoch advanced and the
+	// instance's best cached candidates are anchored under a previous
+	// epoch, not yet revalidated. Rather than stampede the optimizer (or
+	// mix anchor factors across generations in the cost check), the best
+	// lagging candidate is served flagged; the background revalidator
+	// retires the lag.
+	DegradedStatsEpochLag DegradedReason = "stats-epoch-lag"
 )
 
 // Stats are cumulative counters a technique reports. Counter semantics
@@ -167,6 +182,25 @@ type Stats struct {
 	// InjectedFaults reports faults injected by a fault-injecting engine
 	// wrapper (zero when the engine does not implement FaultReporter).
 	InjectedFaults int64
+	// StatsEpoch is the engine's current statistics epoch id (zero when
+	// the engine has no epoch lifecycle); LaggingInstances counts cached
+	// instance entries whose anchors were computed under an older epoch
+	// and await revalidation.
+	StatsEpoch       uint64
+	LaggingInstances int64
+	// Revalidation counters: anchors re-derived under a new epoch
+	// (RevalidatedPlans), entries whose plan survived with a demoted
+	// sub-optimality (RevalDemoted), entries/plans dropped because the
+	// redundancy threshold no longer held (RevalDroppedInstances,
+	// RevalDroppedPlans), anchors whose revalidation errored
+	// (RevalFailed), and instances served flagged during epoch lag
+	// (EpochLagFallbacks).
+	RevalidatedPlans      int64
+	RevalDemoted          int64
+	RevalDroppedInstances int64
+	RevalDroppedPlans     int64
+	RevalFailed           int64
+	EpochLagFallbacks     int64
 }
 
 // Technique is an online PQO technique processing a stream of query
@@ -205,6 +239,22 @@ type BatchEngine interface {
 	// PrepareRecost builds a reusable recosting context for sv. The caller
 	// must Release it and must not mutate sv until then.
 	PrepareRecost(sv []float64) (*engine.PreparedInstance, error)
+}
+
+// EpochEngine is the optional versioned-statistics surface of an Engine:
+// engines whose statistics roll forward in epochs report the generation a
+// cost was derived under, so the plan cache can tag its anchors, key
+// served guarantees by epoch, and revalidate lazily instead of flushing.
+// engine.TemplateEngine implements it; epoch-less engines are treated as
+// permanently at epoch 0.
+type EpochEngine interface {
+	Engine
+	// StatsEpoch returns the id of the current statistics epoch.
+	StatsEpoch() uint64
+	// OptimizeEpoch is Optimize plus the epoch the search ran under.
+	OptimizeEpoch(sv []float64) (*engine.CachedPlan, float64, uint64, error)
+	// RecostEpoch is Recost plus the epoch the cost was derived under.
+	RecostEpoch(cp *engine.CachedPlan, sv []float64) (float64, uint64, error)
 }
 
 // FaultReporter is the optional accounting surface of a fault-injecting

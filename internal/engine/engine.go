@@ -73,61 +73,87 @@ func (e *TemplateEngine) Dimensions() int { return e.Tpl.Dimensions() }
 // Optimize performs a full optimizer call for selectivity vector sv,
 // returning the winning plan (with its recost representation) and its cost.
 func (e *TemplateEngine) Optimize(sv []float64) (*CachedPlan, float64, error) {
+	cp, c, _, err := e.OptimizeEpoch(sv)
+	return cp, c, err
+}
+
+// OptimizeEpoch is Optimize plus the id of the statistics epoch the search
+// ran under, so callers recording the result (e.g. a plan-cache anchor)
+// can tag it with the generation its cost is valid for.
+func (e *TemplateEngine) OptimizeEpoch(sv []float64) (*CachedPlan, float64, uint64, error) {
 	start := time.Now()
-	p, c, err := e.Opt.Optimize(e.Tpl, sv)
+	p, c, epoch, err := e.Opt.OptimizeEpoch(e.Tpl, sv)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	sm, err := memo.NewShrunkenMemo(e.Opt, p, e.Tpl)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	e.optNanos.Add(time.Since(start).Nanoseconds())
 	e.optCalls.Add(1)
-	return &CachedPlan{Plan: p, SM: sm}, c, nil
+	return &CachedPlan{Plan: p, SM: sm}, c, epoch, nil
 }
 
 // Recost computes the cost of a cached plan at sv via its shrunken memo,
 // consulting the recost result cache first. Callers recosting several plans
 // for one instance should batch through PrepareRecost instead.
 func (e *TemplateEngine) Recost(cp *CachedPlan, sv []float64) (float64, error) {
-	if cp == nil {
-		return 0, fmt.Errorf("engine: recost of nil cached plan")
-	}
-	key := recostKey{fp: cp.Plan.Fingerprint(), svh: stats.HashSVector(sv)}
-	if c, ok := e.rc.get(key, sv); ok {
-		return c, nil
-	}
-	start := time.Now()
-	c, err := cp.SM.Recost(e.Opt, sv)
-	if err != nil {
-		return 0, err
-	}
-	e.recostNanos.Add(time.Since(start).Nanoseconds())
-	e.recostCalls.Add(1)
-	e.rc.put(key, sv, c)
-	return c, nil
+	c, _, err := e.RecostEpoch(cp, sv)
+	return c, err
 }
+
+// RecostEpoch is Recost plus the id of the statistics epoch the cost was
+// derived under. It routes through the prepared-instance path so the
+// pinned environment, the returned epoch and the recost-cache key all name
+// the same generation even if AdvanceEpoch lands concurrently.
+func (e *TemplateEngine) RecostEpoch(cp *CachedPlan, sv []float64) (float64, uint64, error) {
+	if cp == nil {
+		return 0, 0, fmt.Errorf("engine: recost of nil cached plan")
+	}
+	pi, err := e.PrepareRecost(sv)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer pi.Release()
+	c, err := pi.Recost(cp)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c, pi.EpochID(), nil
+}
+
+// StatsEpoch returns the id of the current statistics epoch.
+func (e *TemplateEngine) StatsEpoch() uint64 { return e.Opt.Epoch().ID }
 
 // RecostCacheCounters reports cumulative recost-cache hits and misses.
 func (e *TemplateEngine) RecostCacheCounters() (hits, misses int64) {
 	return e.rc.counters()
 }
 
-// SetStats swaps the optimizer's statistics store (a statistics reload) and
-// flushes the recost result cache: cached costs are valid only for the
-// statistics they were computed under. Swapping the store any other way
-// leaves stale costs behind — the cacheinvalidation analyzer enforces this
-// pairing (docs/LINT.md).
-func (e *TemplateEngine) SetStats(st *stats.Store) {
-	e.Opt.Stats = st
-	e.FlushRecostCache()
+// AdvanceEpoch installs st as the next statistics generation and returns
+// the new epoch. No cache flush is needed: recost results are keyed by
+// epoch id, so entries from previous generations simply stop matching and
+// age out under the shard-capacity sweep. The cacheinvalidation analyzer
+// accepts AdvanceEpoch as a legal alternative to FlushRecostCache
+// (docs/LINT.md).
+func (e *TemplateEngine) AdvanceEpoch(st *stats.Store) *stats.Epoch {
+	return e.Opt.AdvanceEpoch(st)
 }
 
-// FlushRecostCache drops every cached recost result. Cached costs are
-// deterministic in (plan, sv, statistics), so the only invalidation event
-// is a statistics reload — call this whenever the engine's stats store is
-// rebuilt or swapped.
+// SetStats swaps the optimizer's statistics store (a statistics reload).
+// It is AdvanceEpoch without the returned epoch — kept for callers that
+// predate the epoch lifecycle.
+func (e *TemplateEngine) SetStats(st *stats.Store) {
+	e.AdvanceEpoch(st)
+}
+
+// FlushRecostCache drops every cached recost result wholesale. With
+// epoch-keyed entries this is never required for correctness — a stats
+// swap through AdvanceEpoch invalidates by construction — but it remains
+// available to reclaim memory eagerly (e.g. after a template is retired).
+// It must not be called on a serving path; pqolint's cacheinvalidation
+// analyzer rejects calls from internal/core.
 func (e *TemplateEngine) FlushRecostCache() { e.rc.flush() }
 
 // EnvPoolCounters reports the optimizer's pooled-environment accounting:
@@ -179,6 +205,29 @@ func NewSystem(cat *catalog.Catalog, seed int64) (*System, error) {
 // EngineFor returns a TemplateEngine for tpl over this system.
 func (s *System) EngineFor(tpl *query.Template) (*TemplateEngine, error) {
 	return NewTemplateEngine(tpl, s.Opt)
+}
+
+// AdvanceEpoch installs st as the system's next statistics generation and
+// returns the new epoch. Every TemplateEngine built from this system
+// shares the optimizer, so they all observe the advance at once. The
+// exported Stats field keeps naming the current store for existing
+// callers; versioned readers should use Opt.Epoch.
+func (s *System) AdvanceEpoch(st *stats.Store) *stats.Epoch {
+	s.Stats = st
+	return s.Opt.AdvanceEpoch(st)
+}
+
+// ResampleStats builds a fresh statistics store for the system's catalog
+// by re-sampling synthetic data with the given seed — the "full swap" form
+// of an online statistics refresh. The result is not installed; pass it to
+// AdvanceEpoch.
+func (s *System) ResampleStats(seed int64) (*stats.Store, error) {
+	gen := datagen.New(s.Cat, seed)
+	st, err := stats.Build(s.Cat, gen)
+	if err != nil {
+		return nil, fmt.Errorf("engine: resampling statistics for %s: %w", s.Cat.Name, err)
+	}
+	return st, nil
 }
 
 // Rehydrate rebuilds a CachedPlan (including its shrunken-memo recost

@@ -25,6 +25,11 @@ type PreparedInstance struct {
 	svh uint64
 }
 
+// EpochID returns the statistics-epoch id this instance was prepared
+// under. Every Recost through the instance is computed — and cached —
+// against exactly this generation.
+func (pi *PreparedInstance) EpochID() uint64 { return pi.env.EpochID() }
+
 var preparedPool = sync.Pool{New: func() any { return new(PreparedInstance) }}
 
 // PrepareRecost builds a recosting context for one instance's selectivity
@@ -52,7 +57,7 @@ func (pi *PreparedInstance) Recost(cp *CachedPlan) (float64, error) {
 		return 0, fmt.Errorf("engine: recost of nil cached plan")
 	}
 	e := pi.eng
-	key := recostKey{fp: cp.Plan.Fingerprint(), svh: pi.svh}
+	key := recostKey{fp: cp.Plan.Fingerprint(), svh: pi.svh, epoch: pi.env.EpochID()}
 	if c, ok := e.rc.get(key, pi.sv); ok {
 		return c, nil
 	}

@@ -5,12 +5,17 @@ import (
 	"sync/atomic"
 )
 
-// recostKey identifies one (plan, instance) recost result: the plan's
-// structural fingerprint (precomputed by plan.New, so keying allocates
-// nothing) and the selectivity vector's hash.
+// recostKey identifies one (plan, instance, statistics generation) recost
+// result: the plan's structural fingerprint (precomputed by plan.New, so
+// keying allocates nothing), the selectivity vector's hash, and the
+// statistics-epoch id the cost was derived under. Keying by epoch makes a
+// stats advance invalidation-free: entries from the previous generation
+// can never satisfy lookups made under the new one and age out under the
+// shard-capacity sweep instead of a global flush.
 type recostKey struct {
-	fp  string
-	svh uint64
+	fp    string
+	svh   uint64
+	epoch uint64
 }
 
 // recostEntry stores the result together with the exact vector it was

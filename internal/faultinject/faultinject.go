@@ -208,6 +208,13 @@ type cacheReporter interface {
 	EnvPoolCounters() (gets, reuses int64)
 }
 
+// epochEngine mirrors core.EpochEngine's epoch surface.
+type epochEngine interface {
+	StatsEpoch() uint64
+	OptimizeEpoch(sv []float64) (*engine.CachedPlan, float64, uint64, error)
+	RecostEpoch(cp *engine.CachedPlan, sv []float64) (float64, uint64, error)
+}
+
 // FaultyEngine wraps an engine with an Injector. It implements
 // core.Engine, and forwards core.BatchEngine / core.CacheReporter to the
 // inner engine when it supports them; it also implements
@@ -285,6 +292,46 @@ func (e *FaultyEngine) EnvPoolCounters() (gets, reuses int64) {
 
 // InjectedFaults implements core.FaultReporter.
 func (e *FaultyEngine) InjectedFaults() int64 { return e.inj.Injected() }
+
+// StatsEpoch implements core.EpochEngine by delegation; an epoch-less
+// inner engine is reported as permanently at epoch 0, which core treats
+// identically to the engine not implementing epochs at all.
+func (e *FaultyEngine) StatsEpoch() uint64 {
+	if ee, ok := e.inner.(epochEngine); ok {
+		return ee.StatsEpoch()
+	}
+	return 0
+}
+
+// OptimizeEpoch implements core.EpochEngine, consulting SiteOptimize
+// first — the background revalidator's optimizer calls route through the
+// exact same injection point as foreground traffic.
+func (e *FaultyEngine) OptimizeEpoch(sv []float64) (*engine.CachedPlan, float64, uint64, error) {
+	if f, fire := e.inj.At(SiteOptimize); fire {
+		if err := apply(SiteOptimize, f); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	if ee, ok := e.inner.(epochEngine); ok {
+		return ee.OptimizeEpoch(sv)
+	}
+	cp, c, err := e.inner.Optimize(sv)
+	return cp, c, 0, err
+}
+
+// RecostEpoch implements core.EpochEngine, consulting SiteRecost first.
+func (e *FaultyEngine) RecostEpoch(cp *engine.CachedPlan, sv []float64) (float64, uint64, error) {
+	if f, fire := e.inj.At(SiteRecost); fire {
+		if err := apply(SiteRecost, f); err != nil {
+			return 0, 0, err
+		}
+	}
+	if ee, ok := e.inner.(epochEngine); ok {
+		return ee.RecostEpoch(cp, sv)
+	}
+	c, err := e.inner.Recost(cp, sv)
+	return c, 0, err
+}
 
 // Canonical fault profiles for chaos suites. Each returns a fresh
 // injector derived from seed; rate is the per-call injection probability.

@@ -1,15 +1,22 @@
 // Package cacheinvalidation checks that every mutation of an engine's or
 // optimizer's statistics/catalog reference is post-dominated by a recost
-// cache flush. The recost result cache memoizes costs that are
+// cache invalidation. The recost result cache memoizes costs that are
 // deterministic in (plan, sv, statistics); swapping the statistics store
-// without FlushRecostCache leaves stale costs behind, which silently
-// corrupts the cost check and with it the λ-guarantee (docs/PERF.md,
-// docs/LINT.md).
+// without invalidating leaves stale costs behind, which silently corrupts
+// the cost check and with it the λ-guarantee (docs/PERF.md, docs/LINT.md).
+//
+// Two calls invalidate: FlushRecostCache (drop everything) and
+// AdvanceEpoch (install the swap as a new statistics generation — cached
+// results are keyed by epoch id, so stale entries stop matching by
+// construction and age out; docs/STATS.md). Inside internal/core only the
+// epoch form is legal: the serving path must never pay a wholesale flush,
+// so any FlushRecostCache call there is reported outright.
 package cacheinvalidation
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
@@ -22,8 +29,9 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "cacheinvalidation",
-	Doc: "require FlushRecostCache on every path after a stats/catalog swap " +
-		"on an engine or optimizer",
+	Doc: "require FlushRecostCache or AdvanceEpoch on every path after a " +
+		"stats/catalog swap on an engine or optimizer; ban wholesale " +
+		"flushes from internal/core",
 	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
 	Run:      run,
 }
@@ -33,8 +41,10 @@ var Analyzer = &analysis.Analyzer{
 var mutatedFields = map[string]bool{"Stats": true, "Cat": true, "Catalog": true}
 
 // flushNames are calls that perform the invalidation. The unexported
-// rc.flush() form covers the engine package's own internals.
-var flushNames = map[string]bool{"FlushRecostCache": true, "flush": true}
+// rc.flush() form covers the engine package's own internals; AdvanceEpoch
+// invalidates by construction because cached recost results are keyed by
+// epoch id.
+var flushNames = map[string]bool{"FlushRecostCache": true, "flush": true, "AdvanceEpoch": true}
 
 // ownerTypeNames are the types whose Stats/Cat fields feed cost
 // computation (matched by name so fixtures can stub them).
@@ -56,6 +66,20 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		checkFunc(pass, fd, g)
 	})
+
+	// The serving-path ban: internal/core holds the hot path, where a
+	// wholesale flush turns one stats refresh into a cache-wide cost
+	// recomputation storm. Epoch advances make the flush unnecessary, so
+	// inside core it is plain illegal.
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/core") {
+		ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+			call := n.(*ast.CallExpr)
+			if methodName(call) == "FlushRecostCache" {
+				lintutil.Report(pass, call.Pos(),
+					"internal/core must not call FlushRecostCache; advance the statistics epoch instead — epoch-keyed recost entries age out without a hot-path flush")
+			}
+		})
+	}
 	return nil, nil
 }
 

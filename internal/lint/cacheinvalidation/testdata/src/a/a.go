@@ -15,9 +15,31 @@ type TemplateEngine struct {
 
 func (e *TemplateEngine) FlushRecostCache() {}
 
+type Epoch struct{ ID int }
+
+func (e *TemplateEngine) AdvanceEpoch(st *Store) *Epoch { return &Epoch{} }
+
 // goodSwapThenFlush is the required pattern.
 func goodSwapThenFlush(e *TemplateEngine, st *Store) {
 	e.Opt.Stats = st
+	e.FlushRecostCache()
+}
+
+// goodSwapThenAdvance: an epoch advance invalidates by construction —
+// cached recost results are keyed by epoch id — so it satisfies the check
+// without a flush.
+func goodSwapThenAdvance(e *TemplateEngine, st *Store) {
+	e.Opt.Stats = st
+	e.AdvanceEpoch(st)
+}
+
+// goodSwapAdvanceOneFlushOther: the two invalidation forms mix freely.
+func goodSwapAdvanceOneFlushOther(e *TemplateEngine, st *Store, cond bool) {
+	e.Opt.Stats = st
+	if cond {
+		e.AdvanceEpoch(st)
+		return
+	}
 	e.FlushRecostCache()
 }
 

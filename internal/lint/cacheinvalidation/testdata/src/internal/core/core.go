@@ -1,0 +1,37 @@
+// Fixture for the cacheinvalidation serving-path ban: the package path
+// ends in internal/core, where wholesale recost-cache flushes are illegal
+// — a statistics refresh must advance the epoch instead, so the hot path
+// never pays a cache-wide invalidation.
+package core
+
+type Store struct{ N int }
+
+type Epoch struct{ ID int }
+
+type TemplateEngine struct{}
+
+func (e *TemplateEngine) FlushRecostCache()               {}
+func (e *TemplateEngine) AdvanceEpoch(st *Store) *Epoch   { return &Epoch{} }
+func (e *TemplateEngine) RecostCacheCounters() (int, int) { return 0, 0 }
+
+// badFlushFromCore: any flush on the serving path is reported, whether or
+// not a swap precedes it.
+func badFlushFromCore(e *TemplateEngine) {
+	e.FlushRecostCache() // want `internal/core must not call FlushRecostCache`
+}
+
+// goodAdvanceFromCore is the sanctioned form.
+func goodAdvanceFromCore(e *TemplateEngine, st *Store) {
+	e.AdvanceEpoch(st)
+}
+
+// goodOtherCacheTraffic: only the flush itself is banned.
+func goodOtherCacheTraffic(e *TemplateEngine) {
+	e.RecostCacheCounters()
+}
+
+// allowedFlush: an audited exception still goes through lint:allow.
+func allowedFlush(e *TemplateEngine) {
+	//lint:allow cacheinvalidation test-only teardown reclaiming memory
+	e.FlushRecostCache()
+}

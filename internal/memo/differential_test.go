@@ -27,7 +27,7 @@ import (
 // differenced against. Do not "improve" it: its value is that it computes
 // costs with the original map-of-groups + per-mask-BFS structure.
 func oracleOptimize(o *Optimizer, tpl *query.Template, sv []float64) (*plan.Plan, float64, error) {
-	env, err := NewEnv(tpl, sv, o.Stats)
+	env, err := NewEnv(tpl, sv, o.StatsStore())
 	if err != nil {
 		return nil, 0, err
 	}

@@ -136,6 +136,9 @@ func buildMeta(tpl *query.Template) *tplMeta {
 type Env struct {
 	Tpl  *query.Template
 	meta *tplMeta
+	// epoch is the statistics-epoch id the environment was prepared under
+	// (0 for NewEnv-built environments over a bare store).
+	epoch uint64
 	// predSel[i] is the selectivity of Tpl.Preds[i].
 	predSel []float64
 	// tableSel[t] is the combined selectivity of the predicates on the
@@ -252,12 +255,20 @@ func (o *Optimizer) PrepareEnv(tpl *query.Template, sv []float64) (*Env, error) 
 	if e.meta != nil {
 		atomic.AddInt64(&o.envReuses, 1)
 	}
-	if err := e.reset(tpl, sv, o.Stats); err != nil {
+	// One atomic load pins the (id, store) pair for the whole environment:
+	// every selectivity this Env answers comes from the same generation.
+	ep := o.epoch.Load()
+	if err := e.reset(tpl, sv, ep.Store); err != nil {
 		envPool.Put(e)
 		return nil, err
 	}
+	e.epoch = ep.ID
 	return e, nil
 }
+
+// EpochID returns the statistics-epoch id the environment was prepared
+// under; 0 for environments built directly with NewEnv.
+func (e *Env) EpochID() uint64 { return e.epoch }
 
 // ReleaseEnv returns a pooled environment to the pool. nil is a no-op.
 func (o *Optimizer) ReleaseEnv(e *Env) {

@@ -19,10 +19,19 @@ const maxJoinTables = 20
 
 // Optimizer performs cost-based plan search for query templates over one
 // catalog. It is safe for concurrent use; accounting counters are atomic.
+//
+// Statistics are versioned: the optimizer holds the current stats.Epoch
+// (monotonic id + immutable store) behind an atomic pointer. Every
+// PrepareEnv reads the pointer exactly once, so each Optimize/Recost is
+// internally consistent even while AdvanceEpoch swaps generations
+// underneath concurrent traffic.
 type Optimizer struct {
 	Cat   *catalog.Catalog
 	Model *cost.Model
-	Stats *stats.Store
+
+	// epoch is the current statistics generation; never nil after
+	// NewOptimizer. Swapped wholesale by AdvanceEpoch.
+	epoch atomic.Pointer[stats.Epoch]
 
 	// exprCosted counts physical alternatives costed across all Optimize
 	// calls; recostOps counts operators visited across all Recost calls.
@@ -39,9 +48,37 @@ type Optimizer struct {
 }
 
 // NewOptimizer returns an optimizer over the given catalog, cost model and
-// statistics store.
+// statistics store. The store becomes epoch 1.
 func NewOptimizer(cat *catalog.Catalog, m *cost.Model, st *stats.Store) *Optimizer {
-	return &Optimizer{Cat: cat, Model: m, Stats: st}
+	o := &Optimizer{Cat: cat, Model: m}
+	o.epoch.Store(&stats.Epoch{ID: 1, Store: st})
+	return o
+}
+
+// Epoch returns the current statistics epoch (id + store), never nil.
+func (o *Optimizer) Epoch() *stats.Epoch { return o.epoch.Load() }
+
+// StatsStore returns the statistics store of the current epoch.
+func (o *Optimizer) StatsStore() *stats.Store { return o.epoch.Load().Store }
+
+// AdvanceEpoch atomically installs st as the next statistics generation
+// and returns the new epoch. Concurrent advances serialize through the
+// CAS loop, so ids stay strictly monotonic. In-flight Optimize/Recost
+// calls that already prepared their environment finish under the epoch
+// they started with; new preparations observe the new epoch.
+//
+// Unlike a bare stats swap, advancing needs no recost-cache flush: the
+// engine layer keys cached recost results by epoch id, so entries from
+// previous generations can never satisfy lookups made under the new one
+// and simply age out.
+func (o *Optimizer) AdvanceEpoch(st *stats.Store) *stats.Epoch {
+	for {
+		cur := o.epoch.Load()
+		next := &stats.Epoch{ID: cur.ID + 1, Store: st}
+		if o.epoch.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
 }
 
 // Counters reports cumulative accounting: optimizer calls made, expressions
@@ -157,11 +194,27 @@ func releaseSearchCtx(sc *searchCtx) { searchPool.Put(sc) }
 // stay empty, so the explicit BFS check of the seed implementation is
 // redundant and the enumeration is pure mask arithmetic.
 func (o *Optimizer) Optimize(tpl *query.Template, sv []float64) (*plan.Plan, float64, error) {
+	p, c, _, err := o.OptimizeEpoch(tpl, sv)
+	return p, c, err
+}
+
+// OptimizeEpoch is Optimize plus the id of the statistics epoch the search
+// ran under. The epoch is pinned once when the environment is prepared, so
+// the returned plan, cost and id are mutually consistent even if
+// AdvanceEpoch lands mid-search.
+func (o *Optimizer) OptimizeEpoch(tpl *query.Template, sv []float64) (*plan.Plan, float64, uint64, error) {
 	env, err := o.PrepareEnv(tpl, sv)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer o.ReleaseEnv(env)
+	p, c, err := o.optimizeWith(tpl, env)
+	return p, c, env.EpochID(), err
+}
+
+// optimizeWith runs the plan search against an already-prepared
+// environment.
+func (o *Optimizer) optimizeWith(tpl *query.Template, env *Env) (*plan.Plan, float64, error) {
 	atomic.AddInt64(&o.optCalls, 1)
 
 	n := len(tpl.Tables)

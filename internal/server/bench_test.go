@@ -44,7 +44,7 @@ func BenchmarkServerParallel(b *testing.B) {
 		sv := pqotest.RandomSVector(warmRNG, 4)
 		body, _ := json.Marshal(PlanRequest{Template: "bench", SVector: sv})
 		warm[i] = [][]byte{body}
-		resp, err := client.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func BenchmarkServerParallel(b *testing.B) {
 			} else {
 				body, _ = json.Marshal(PlanRequest{Template: "bench", SVector: pqotest.RandomSVector(rng, 4)})
 			}
-			resp, err := client.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+			resp, err := client.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
 			if err != nil {
 				b.Fatal(err)
 			}

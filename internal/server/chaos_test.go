@@ -295,6 +295,6 @@ func TestChaosBreakerObservability(t *testing.T) {
 func (cs *chaosServer) metricValue(t *testing.T, series string) int64 {
 	t.Helper()
 	w := httptest.NewRecorder()
-	cs.h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	cs.h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
 	return promValue(t, w.Body.String(), series)
 }

@@ -129,6 +129,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", int(st.BreakerState)) }},
 		{"pqo_injected_faults_total", "Faults injected by the fault-injection harness (0 in production).",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.InjectedFaults) }},
+		{"pqo_stats_epoch", "Current statistics epoch id (0 = epoch-less engine).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.StatsEpoch) }},
+		{"pqo_lagging_instances", "Cached instance anchors awaiting revalidation under the current epoch.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.LaggingInstances) }},
+		{"pqo_revalidated_plans_total", "Anchors re-derived under a new statistics epoch by background revalidation.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.RevalidatedPlans) }},
+		{"pqo_epoch_lag_fallbacks_total", "Instances served flagged because their candidates lagged the current epoch.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.EpochLagFallbacks) }},
 		{"pqo_read_lock_wait_seconds_total", "Cumulative time waiting for the cache read lock.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.ReadLockWait.Seconds()) }},
 		{"pqo_write_lock_wait_seconds_total", "Cumulative time waiting for the cache write lock.",
@@ -160,6 +168,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP pqo_shed_total /plan requests shed with 429 because every in-flight slot stayed busy.")
 	fmt.Fprintln(w, "# TYPE pqo_shed_total counter")
 	fmt.Fprintf(w, "pqo_shed_total %d\n", s.shedTotal.Load())
+
+	fmt.Fprintln(w, "# HELP pqo_epoch_lag_seconds Seconds since the last epoch advance while any plan-cache anchor still lags it (0 once revalidation drains).")
+	fmt.Fprintln(w, "# TYPE pqo_epoch_lag_seconds gauge")
+	fmt.Fprintf(w, "pqo_epoch_lag_seconds %g\n", s.epochLagSeconds())
 
 	fmt.Fprintln(w, "# HELP pqo_check_latency_seconds End-to-end /plan decision latency by serving mechanism.")
 	fmt.Fprintln(w, "# TYPE pqo_check_latency_seconds histogram")

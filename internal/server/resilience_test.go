@@ -241,7 +241,7 @@ func TestDegradedResponseFields(t *testing.T) {
 
 	// Observability: the degraded path shows up in /stats and /metrics.
 	wm := httptest.NewRecorder()
-	h.ServeHTTP(wm, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	h.ServeHTTP(wm, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
 	body := wm.Body.String()
 	if got := promValue(t, body, `pqo_degraded_total{template="t1"}`); got < 2 {
 		t.Errorf("pqo_degraded_total = %d, want >= 2", got)
@@ -291,7 +291,7 @@ func TestLoadShedding(t *testing.T) {
 		t.Errorf("health = %+v, want degraded with 1 shed", hs)
 	}
 	wm := httptest.NewRecorder()
-	h.ServeHTTP(wm, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	h.ServeHTTP(wm, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
 	if got := promValue(t, wm.Body.String(), "pqo_shed_total"); got != 1 {
 		t.Errorf("pqo_shed_total = %d, want 1", got)
 	}
@@ -311,7 +311,7 @@ func TestHealthzStates(t *testing.T) {
 	t.Run("serving", func(t *testing.T) {
 		s, _ := newResilientServer(t, Config{})
 		w := httptest.NewRecorder()
-		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
 		if w.Code != http.StatusOK {
 			t.Fatalf("status = %d", w.Code)
 		}
@@ -331,7 +331,7 @@ func TestHealthzStates(t *testing.T) {
 			t.Fatalf("degraded request status = %d", w.Code)
 		}
 		w := httptest.NewRecorder()
-		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
 		if w.Code != http.StatusOK {
 			t.Fatalf("degraded healthz status = %d, want 200", w.Code)
 		}
@@ -352,7 +352,7 @@ func TestHealthzStates(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := httptest.NewRecorder()
-		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
 		if w.Code != http.StatusServiceUnavailable {
 			t.Fatalf("draining healthz status = %d, want 503", w.Code)
 		}
@@ -381,7 +381,7 @@ func TestShutdownUnderLoad(t *testing.T) {
 		sv := []float64{0.1 + float64(i)*0.2, 0.8 - float64(i)*0.15}
 		go func() {
 			body, _ := json.Marshal(PlanRequest{Template: "t1", SVector: sv})
-			resp, err := http.Post(url+"/plan", "application/json", bytes.NewReader(body))
+			resp, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body))
 			if err != nil {
 				codes <- -1
 				return
@@ -407,7 +407,7 @@ func TestShutdownUnderLoad(t *testing.T) {
 	// The listener closes promptly even while requests drain.
 	dialDeadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := http.Get(url + "/healthz"); err != nil {
+		if _, err := http.Get(url + "/v1/healthz"); err != nil {
 			break
 		}
 		if time.Now().After(dialDeadline) {

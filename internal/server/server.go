@@ -4,14 +4,23 @@
 // A Server owns one SCR plan cache per registered query template and
 // serves mixed read-mostly traffic concurrently — cache hits resolve
 // under SCR's shared read lock, and concurrent identical misses share a
-// single optimizer call. Endpoints:
+// single optimizer call. The API is versioned under /v1 (docs/API.md);
+// the route registry in routes.go is the single source of truth and also
+// generates /v1/openapi.json:
 //
-//	POST /plan      {template, sVector} → plan decision + estimated cost
-//	GET  /templates registered templates with SQL and dimensionality
-//	GET  /stats     the paper's metrics per template (JSON)
-//	GET  /metrics   Prometheus text format: counters + latency histograms
-//	POST /snapshot  persist every plan cache via Export
-//	GET  /healthz   liveness
+//	POST /v1/plan         {template, sVector} → plan decision + epoch + cost
+//	GET  /v1/templates    registered templates with SQL and dimensionality
+//	GET  /v1/stats        the paper's metrics per template (JSON)
+//	GET  /v1/metrics      Prometheus text format: counters + latency histograms
+//	POST /v1/snapshot     persist every plan cache via Export
+//	GET  /v1/healthz      liveness/readiness
+//	POST /v1/admin/stats  install a statistics generation, advance the epoch
+//	GET  /v1/admin/epochs epoch log with revalidation progress
+//	GET  /v1/openapi.json the generated OpenAPI document
+//
+// Unversioned legacy paths (/plan, /stats, ...) respond 308 Permanent
+// Redirect to their /v1 equivalents. Every error response uses the JSON
+// envelope {"error","sentinel"}.
 //
 // The server dogfoods the public pqo facade: apart from this package's
 // own plumbing it depends only on repro/pqo.
@@ -98,6 +107,10 @@ type Server struct {
 	shedTotal atomic.Int64
 	lastShed  atomic.Int64 // unix nanos of the most recent shed
 	draining  atomic.Bool  // set by Shutdown before the listener closes
+
+	// admin is the statistics-epoch administration state (admin.go): the
+	// optional attached system plus the epoch log.
+	admin adminState
 }
 
 // entry binds one registered template to its engine, plan cache and
@@ -175,20 +188,7 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the server's route table; usable directly with
-// httptest or any http.Server.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/plan", s.handlePlan)
-	mux.HandleFunc("/templates", s.handleTemplates)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
-}
-
-// HealthStatus is the body of GET /healthz: a three-state readiness
+// HealthStatus is the body of GET /v1/healthz: a three-state readiness
 // report. "serving" means full service; "degraded" means the service is
 // up but shedding load or running with an unhealthy optimizer (a circuit
 // breaker not closed), so responses may carry Degraded decisions;
@@ -228,9 +228,10 @@ func (s *Server) health() HealthStatus {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.health()
 	if h.Status == "unhealthy" {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(h)
+		// Errors use the uniform envelope even here, so probes and humans
+		// parse one shape everywhere.
+		writeError(w, http.StatusServiceUnavailable, "ErrUnhealthy",
+			errors.New("server is shutting down"))
 		return
 	}
 	writeJSON(w, h)
@@ -337,17 +338,22 @@ type PlanRequest struct {
 	SVector  []float64 `json:"sVector"`
 }
 
-// PlanResponse is the body of a successful POST /plan. Degraded reports
-// that the decision was served without the λ guarantee (the optimizer
-// was unavailable); DegradedReason says why. CostUnavailable marks a
-// response whose estimatedCost could not be computed because recosting
-// failed after the decision — the plan itself is still valid.
+// PlanResponse is the body of a successful POST /v1/plan. Degraded
+// reports that the decision was served without the λ guarantee (the
+// optimizer was unavailable); DegradedReason says why. Epoch is the id of
+// the statistics epoch the decision's guarantee is stated against — it
+// can trail the engine's current epoch while background revalidation
+// catches the cache up after an advance (0 for epoch-less engines).
+// CostUnavailable marks a response whose estimatedCost could not be
+// computed because recosting failed after the decision — the plan itself
+// is still valid.
 type PlanResponse struct {
 	Via             string  `json:"via"`
 	Optimized       bool    `json:"optimized"`
 	Shared          bool    `json:"shared,omitempty"`
 	Degraded        bool    `json:"degraded,omitempty"`
 	DegradedReason  string  `json:"degradedReason,omitempty"`
+	Epoch           uint64  `json:"epoch,omitempty"`
 	EstimatedCost   float64 `json:"estimatedCost"`
 	CostUnavailable bool    `json:"costUnavailable,omitempty"`
 	Plan            string  `json:"plan"`
@@ -435,23 +441,19 @@ func (s *Server) shed(w http.ResponseWriter) {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
 	var req PlanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "", err)
+		writeError(w, http.StatusBadRequest, "ErrBadRequest", err)
 		return
 	}
 	e := s.entry(req.Template)
 	if e == nil {
-		writeError(w, http.StatusNotFound, "",
+		writeError(w, http.StatusNotFound, "ErrUnknownTemplate",
 			fmt.Errorf("unknown template %q", req.Template))
 		return
 	}
 	if len(req.SVector) != e.eng.Dimensions() {
-		writeError(w, http.StatusBadRequest, "",
+		writeError(w, http.StatusBadRequest, "ErrBadRequest",
 			fmt.Errorf("template %q takes %d selectivities, got %d",
 				req.Template, e.eng.Dimensions(), len(req.SVector)))
 		return
@@ -482,6 +484,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Shared:         dec.Shared,
 		Degraded:       dec.Degraded,
 		DegradedReason: string(dec.DegradedReason),
+		Epoch:          dec.Epoch,
 		Plan:           dec.Plan.Plan.String(),
 		Fingerprint:    dec.Plan.Fingerprint(),
 	}
@@ -561,6 +564,13 @@ type StatsRow struct {
 	BreakerState      string  `json:"breakerState"`
 	BreakerOpens      int64   `json:"breakerOpens"`
 	InjectedFaults    int64   `json:"injectedFaults"`
+	StatsEpoch        uint64  `json:"statsEpoch"`
+	LaggingInstances  int64   `json:"laggingInstances"`
+	RevalidatedPlans  int64   `json:"revalidatedPlans"`
+	RevalDemoted      int64   `json:"revalDemoted"`
+	RevalDropped      int64   `json:"revalDroppedInstances"`
+	RevalFailed       int64   `json:"revalFailed"`
+	EpochLagFallbacks int64   `json:"epochLagFallbacks"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -592,6 +602,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			BreakerState:      st.BreakerState.String(),
 			BreakerOpens:      st.BreakerOpens,
 			InjectedFaults:    st.InjectedFaults,
+			StatsEpoch:        st.StatsEpoch,
+			LaggingInstances:  st.LaggingInstances,
+			RevalidatedPlans:  st.RevalidatedPlans,
+			RevalDemoted:      st.RevalDemoted,
+			RevalDropped:      st.RevalDroppedInstances,
+			RevalFailed:       st.RevalFailed,
+			EpochLagFallbacks: st.EpochLagFallbacks,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Template < out[j].Template })
@@ -603,18 +620,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.writeMetrics(w)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	saved, err := s.SaveSnapshots()
 	if err != nil {
-		code := http.StatusInternalServerError
 		if s.cfg.SnapshotDir == "" {
-			code = http.StatusConflict
+			writeError(w, http.StatusConflict, "ErrSnapshotsDisabled", err)
+			return
 		}
-		http.Error(w, err.Error(), code)
+		writeError(w, http.StatusInternalServerError, "", err)
 		return
 	}
 	writeJSON(w, map[string]int{"snapshots": saved})

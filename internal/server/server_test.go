@@ -42,7 +42,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *pqotest.Engine) {
 func postPlan(t testing.TB, h http.Handler, req PlanRequest) (*httptest.ResponseRecorder, *PlanResponse) {
 	t.Helper()
 	body, _ := json.Marshal(req)
-	r := httptest.NewRequest(http.MethodPost, "/plan", bytes.NewReader(body))
+	r := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, r)
 	if w.Code != http.StatusOK {
@@ -86,11 +86,11 @@ func TestPlanEndpoint(t *testing.T) {
 		req  *http.Request
 		want int
 	}{
-		{"GET not allowed", httptest.NewRequest(http.MethodGet, "/plan", nil), http.StatusMethodNotAllowed},
-		{"bad JSON", httptest.NewRequest(http.MethodPost, "/plan", strings.NewReader("{")), http.StatusBadRequest},
-		{"unknown template", httptest.NewRequest(http.MethodPost, "/plan",
+		{"GET not allowed", httptest.NewRequest(http.MethodGet, "/v1/plan", nil), http.StatusMethodNotAllowed},
+		{"bad JSON", httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader("{")), http.StatusBadRequest},
+		{"unknown template", httptest.NewRequest(http.MethodPost, "/v1/plan",
 			strings.NewReader(`{"template":"nope","sVector":[0.1,0.2]}`)), http.StatusNotFound},
-		{"wrong dimensions", httptest.NewRequest(http.MethodPost, "/plan",
+		{"wrong dimensions", httptest.NewRequest(http.MethodPost, "/v1/plan",
 			strings.NewReader(`{"template":"t1","sVector":[0.1]}`)), http.StatusBadRequest},
 	}
 	for _, tc := range cases {
@@ -123,7 +123,7 @@ func TestTemplatesStatsMetrics(t *testing.T) {
 	}
 
 	w := httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/templates", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/templates", nil))
 	var tpls []TemplateInfo
 	if err := json.Unmarshal(w.Body.Bytes(), &tpls); err != nil {
 		t.Fatalf("/templates: %v", err)
@@ -133,7 +133,7 @@ func TestTemplatesStatsMetrics(t *testing.T) {
 	}
 
 	w = httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
 	var rows []StatsRow
 	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
 		t.Fatalf("/stats: %v", err)
@@ -150,7 +150,7 @@ func TestTemplatesStatsMetrics(t *testing.T) {
 	}
 
 	w = httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
 	body := w.Body.String()
 	for _, want := range []string{
 		`pqo_instances_total{template="t1"} 4`,
@@ -231,7 +231,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 	w := httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/snapshot", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/snapshot", nil))
 	if w.Code != http.StatusOK {
 		t.Fatalf("/snapshot: status %d body %s", w.Code, w.Body)
 	}
@@ -299,7 +299,7 @@ func TestRecostCacheMetrics(t *testing.T) {
 	}
 
 	w := httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
 	body := w.Body.String()
 	if got := promValue(t, body, `pqo_recost_cache_hits_total{template="q"}`); got != hits {
 		t.Errorf("/metrics recost cache hits = %d, want %d", got, hits)
@@ -312,7 +312,7 @@ func TestRecostCacheMetrics(t *testing.T) {
 	}
 
 	w = httptest.NewRecorder()
-	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
 	var rows []StatsRow
 	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
 		t.Fatalf("/stats: %v", err)
@@ -336,7 +336,7 @@ func TestRecostCacheMetrics(t *testing.T) {
 func TestSnapshotDisabled(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
 	w := httptest.NewRecorder()
-	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/snapshot", nil))
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/snapshot", nil))
 	if w.Code != http.StatusConflict {
 		t.Fatalf("/snapshot without SnapshotDir: status %d, want %d", w.Code, http.StatusConflict)
 	}
@@ -371,7 +371,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	body, _ := json.Marshal(PlanRequest{Template: "t1", SVector: []float64{0.1, 0.2}})
 	url := "http://" + ln.Addr().String()
-	resp, err := http.Post(url+"/plan", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if _, err := os.Stat(dir + "/t1.json"); err != nil {
 		t.Errorf("shutdown snapshot: %v", err)
 	}
-	if _, err := http.Post(url+"/plan", "application/json", bytes.NewReader(body)); err == nil {
+	if _, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body)); err == nil {
 		t.Error("server still accepting connections after shutdown")
 	}
 }

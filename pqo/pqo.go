@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/sqlparse"
+	"repro/internal/stats"
 )
 
 // Core technique surface.
@@ -63,7 +64,27 @@ type (
 	// FaultReporter is implemented by engines that count injected faults
 	// (internal/faultinject); Stats picks the count up automatically.
 	FaultReporter = core.FaultReporter
+	// EpochEngine is the optional versioned-statistics surface of an
+	// Engine: epoch-reporting Optimize/Recost plus the current epoch id.
+	EpochEngine = core.EpochEngine
+	// Revalidation is a handle on one background cache-revalidation run
+	// started by SCR.Revalidate after a statistics epoch advance.
+	Revalidation = core.Revalidation
+	// RevalidationProgress is a point-in-time snapshot of a run's counters.
+	RevalidationProgress = core.RevalidationProgress
+	// Epoch is one statistics generation: a monotonic id plus the
+	// immutable statistics store it names.
+	Epoch = stats.Epoch
+	// StatsStore is an immutable per-column histogram statistics store.
+	StatsStore = stats.Store
+	// HistogramDelta is one column's replacement sample in a partial
+	// statistics refresh (StatsStore.Apply).
+	HistogramDelta = stats.HistogramDelta
 )
+
+// DefaultRevalidationWorkers is SCR.Revalidate's worker-pool size when
+// the caller passes workers <= 0.
+const DefaultRevalidationWorkers = core.DefaultRevalidationWorkers
 
 // Decision provenance values.
 const (
@@ -80,6 +101,7 @@ const (
 	DegradedOptimizerTimeout = core.DegradedOptimizerTimeout
 	DegradedOptimizerPanic   = core.DegradedOptimizerPanic
 	DegradedOptimizerError   = core.DegradedOptimizerError
+	DegradedStatsEpochLag    = core.DegradedStatsEpochLag
 )
 
 // Circuit breaker states (Stats.BreakerState).
@@ -106,6 +128,7 @@ var (
 	ErrOptimizerPanic   = core.ErrOptimizerPanic
 	ErrBreakerOpen      = core.ErrBreakerOpen
 	ErrUnavailable      = core.ErrUnavailable
+	ErrEpochUnsupported = core.ErrEpochUnsupported
 )
 
 // New builds an SCR plan cache over eng from functional options; see the

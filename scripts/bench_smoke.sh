@@ -1,0 +1,57 @@
+#!/bin/sh
+# Bench smoke: fast regression gates for the serving hot path, run by
+# ./scripts/check.sh -bench (docs/PERF.md has the full workflow).
+#
+# Gate 1 — throughput: BenchmarkProcessParallel/rwmutex against the frozen
+# PR4 reference in BENCH_PR4.json; fails on a >25% ns/op regression.
+# Gate 2 — revalidation tail: BenchmarkProcessDuringRevalidation must show
+# p99 Process latency with background epoch revalidation running within
+# 2x of the same traffic's steady-state p99 (docs/STATS.md: a statistics
+# refresh must never be a self-inflicted cold start).
+set -eu
+cd "$(dirname "$0")/.."
+
+BASE=$(sed -n 's/.*"BenchmarkProcessParallel\/rwmutex": {"ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR4.json)
+if [ -z "$BASE" ]; then
+    echo "bench_smoke.sh: no BenchmarkProcessParallel/rwmutex reference in BENCH_PR4.json" >&2
+    exit 1
+fi
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessParallel$' \
+    -cpu 8 -benchtime 0.5s -count 3 | tee "$OUT"
+awk -v base="$BASE" '
+$1 ~ /^BenchmarkProcessParallel\/rwmutex/ && $4 == "ns/op" {
+    if (best == 0 || $3 + 0 < best) best = $3 + 0
+}
+END {
+    if (best == 0) { print "bench_smoke.sh: no rwmutex samples"; exit 1 }
+    limit = base * 1.25
+    printf "bench_smoke.sh: ProcessParallel/rwmutex best %d ns/op vs PR4 reference %d (limit %.0f)\n", best, base, limit
+    if (best > limit) {
+        printf "bench_smoke.sh: FAIL — >25%% regression against BENCH_PR4.json\n"
+        exit 1
+    }
+}' "$OUT"
+
+go test ./internal/core/ -run '^$' -bench BenchmarkProcessDuringRevalidation \
+    -cpu 8 -benchtime 0.5s | tee "$OUT"
+awk '
+$1 ~ /^BenchmarkProcessDuringRevalidation\/steady/ {
+    for (i = 2; i <= NF; i++) if ($i == "p99-ns") steady = $(i-1) + 0
+}
+$1 ~ /^BenchmarkProcessDuringRevalidation\/revalidating/ {
+    for (i = 2; i <= NF; i++) if ($i == "p99-ns") reval = $(i-1) + 0
+}
+END {
+    if (steady == 0 || reval == 0) { print "bench_smoke.sh: missing p99-ns samples"; exit 1 }
+    printf "bench_smoke.sh: Process p99 %d ns steady, %d ns during revalidation (limit %.0f)\n", steady, reval, 2 * steady
+    if (reval > 2 * steady) {
+        printf "bench_smoke.sh: FAIL — revalidation pushes Process p99 beyond 2x steady state\n"
+        exit 1
+    }
+}' "$OUT"
+
+echo "bench_smoke.sh: hot path within budget"

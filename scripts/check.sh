@@ -17,7 +17,10 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test ./...
+# -shuffle=on randomizes test (and subtest) execution order, so hidden
+# inter-test state dependencies fail loudly instead of by luck of the
+# default order.
+go test -shuffle=on ./...
 go test -race ./internal/core/ ./internal/server/ ./internal/engine/ \
     ./internal/baselines/ ./internal/harness/ ./internal/memo/ \
     ./internal/faultinject/
@@ -56,8 +59,11 @@ case "${1:-}" in
     # and scripts/bench.sh for the full comparison workflow).
     go test ./internal/memo/ -run '^$' -benchtime 100x -benchmem \
         -bench 'BenchmarkOptimize$|BenchmarkRecost$'
-    go test ./internal/core/ -run '^$' -bench BenchmarkProcessParallel -cpu 8
     go test ./internal/server/ -run '^$' -bench BenchmarkServerParallel -cpu 8
+    # Regression gates: ProcessParallel vs the frozen BENCH_PR4.json
+    # reference (>25% fails) and Process p99 during background epoch
+    # revalidation vs steady state (>2x fails).
+    ./scripts/bench_smoke.sh
     ;;
 -chaos)
     # Full chaos streams: long fault-injected request replays under the
