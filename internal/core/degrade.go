@@ -32,17 +32,11 @@ func degradeReason(err error) DegradedReason {
 	}
 }
 
-// snapshotPlans captures the plan list under the read lock in fingerprint
-// order (deterministic fallback choice). Entries are immutable after
-// insertion, so the snapshot is safe to use lock-free.
+// snapshotPlans returns the published plan list, already in fingerprint
+// order (deterministic fallback choice). The slice belongs to the
+// immutable snapshot: read it, never mutate it.
 func (s *SCR) snapshotPlans() []*planEntry {
-	s.rlock()
-	defer s.mu.RUnlock()
-	pes := make([]*planEntry, 0, len(s.plans))
-	for _, fp := range s.sortedPlanFPs() {
-		pes = append(pes, s.plans[fp])
-	}
-	return pes
+	return s.snapshot().plans
 }
 
 // degrade serves sv without a λ guarantee: it recosts every cached plan

@@ -39,17 +39,18 @@ type instanceJSON struct {
 // state — selectivity vectors, optimal costs, sub-optimality factors and
 // quarantine flags — round-trips exactly.
 func (s *SCR) Export() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// The published snapshot is immutable and internally consistent (plans
+	// and instances from the same publication), so export needs no lock.
+	snap := s.snapshot()
 	out := cacheJSON{}
-	for _, fp := range s.sortedPlanFPs() {
-		raw, err := json.Marshal(s.plans[fp].cp.Plan)
+	for _, pe := range snap.plans {
+		raw, err := json.Marshal(pe.cp.Plan)
 		if err != nil {
-			return nil, fmt.Errorf("core: exporting plan %s: %w", fp, err)
+			return nil, fmt.Errorf("core: exporting plan %s: %w", pe.fp, err)
 		}
 		out.Plans = append(out.Plans, raw)
 	}
-	for _, e := range s.instances {
+	for _, e := range snap.instances {
 		a := e.anc.Load()
 		out.Instances = append(out.Instances, instanceJSON{
 			V: e.v, PlanFP: e.pp.fp, C: a.c, S: a.s,
@@ -129,10 +130,10 @@ func (s *SCR) Import(data []byte) error {
 		s.plans[fp] = pe
 	}
 	s.instances = insts
-	if len(s.plans) > s.maxPlans {
-		s.maxPlans = len(s.plans)
+	if n := int64(len(s.plans)); n > s.maxPlans.Load() {
+		s.maxPlans.Store(n)
 	}
-	s.version.Add(1)
+	s.publishLocked()
 	return nil
 }
 

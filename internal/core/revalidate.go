@@ -136,7 +136,7 @@ func (s *SCR) Revalidate(ctx context.Context, workers int) (*Revalidation, error
 		workers = DefaultRevalidationWorkers
 	}
 	target := s.statsEpoch()
-	insts, _ := s.snapshot()
+	insts := s.snapshot().instances
 	lag := make([]*instanceEntry, 0)
 	for _, e := range insts {
 		if e.anc.Load().epoch != target {

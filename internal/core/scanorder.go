@@ -46,17 +46,17 @@ func regionWeight(sv []float64) float64 {
 	return w
 }
 
-// resortInstances re-orders the instance list per the configured scan
-// order. Called (under the write lock) every resortEvery lookups; sorting
-// is O(n log n) off the hot path and keeps the scan prefix effective as
-// the cache evolves. It sorts a copy and swaps the slice: lock-free
-// readers may still be scanning the current backing array.
+// resortInstances re-orders the master instance list per the configured
+// scan order. Called (under the writer mutex) every resortEvery lookups;
+// sorting is O(n log n) off the hot path and keeps the scan prefix
+// effective as the cache evolves. It sorts the master slice in place —
+// readers only ever see the copies publishLocked makes — and the caller
+// republishes so the new order becomes visible.
 func (s *SCR) resortInstances() {
 	if s.cfg.Scan == ScanInsertion {
 		return
 	}
-	insts := make([]*instanceEntry, len(s.instances))
-	copy(insts, s.instances)
+	insts := s.instances
 	switch s.cfg.Scan {
 	case ScanByArea:
 		sort.SliceStable(insts, func(i, j int) bool {
@@ -67,7 +67,6 @@ func (s *SCR) resortInstances() {
 			return insts[i].u.Load() > insts[j].u.Load()
 		})
 	}
-	s.instances = insts
 }
 
 // resortEvery is the number of instance-list insertions between re-sorts.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/stripe"
 )
 
 // Config parameterizes SCR.
@@ -113,6 +114,18 @@ func (c0 *Config) lambdaR() float64 {
 	return math.Sqrt(c0.Lambda)
 }
 
+// lambdaMax is the loosest sub-optimality bound any instance can be held
+// to: λ itself, or the dynamic range's upper end. It bounds the
+// selectivity-index search window — an entry can only pass the
+// selectivity check for a query whose region weight is within a λmax
+// factor of the entry's (see selHit).
+func (c0 *Config) lambdaMax() float64 {
+	if c0.Dynamic != nil {
+		return c0.Dynamic.Max
+	}
+	return c0.Lambda
+}
+
 func (c0 *Config) costCheckLimit() int {
 	if c0.CostCheckLimit == 0 {
 		return 8
@@ -169,10 +182,10 @@ type anchor struct {
 
 // instanceEntry is the 5-tuple I = <V, PP, C, S, U> of §6.1, plus the
 // Appendix G quarantine flag. The immutable fields (v, pp) are set at
-// insertion under the write lock; the anchor (C, S, epoch) is an atomic
-// pointer swapped by revalidation; the remaining mutable fields (u,
-// quarantined) are atomics so the read path can update them under the
-// shared read lock.
+// insertion under the mutex, before the entry is published; the anchor
+// (C, S, epoch) is an atomic pointer swapped by revalidation; the
+// remaining mutable fields (u, quarantined) are atomics so the lock-free
+// read path can update them on shared, published entries.
 type instanceEntry struct {
 	v   []float64 // V: selectivity vector of the optimized instance
 	pp  *planEntry
@@ -190,21 +203,28 @@ func newInstance(v []float64, pp *planEntry, c, s float64, u int64, epoch uint64
 	return e
 }
 
-// counters are SCR's cumulative statistics, all atomics so the read path
-// (selectivity + cost checks under RLock) never needs exclusive access.
+// counters are SCR's cumulative statistics. The counters every request
+// bumps on the lock-free read path are striped (stripe.Int64): a shared
+// atomic there would put all cores back on one cache line and re-
+// serialize the very path the RCU snapshot freed. Counters touched only
+// on slow paths (optimizer calls, evictions, breaker transitions,
+// revalidation) stay plain atomics — striping them would buy nothing and
+// cost 4KiB each.
 type counters struct {
-	instances       atomic.Int64
+	// Hot: bumped by every Process / selectivity check / cost check.
+	instances      stripe.Int64
+	readPathHits   stripe.Int64
+	selChecks      stripe.Int64
+	getPlanRecosts stripe.Int64
+
+	// Cold: slow-path only.
 	optCalls        atomic.Int64
 	sharedOptCalls  atomic.Int64
-	getPlanRecosts  atomic.Int64
 	manageRecosts   atomic.Int64
-	selChecks       atomic.Int64
 	violations      atomic.Int64
 	evictions       atomic.Int64
 	redundantPlans  atomic.Int64
-	readPathHits    atomic.Int64
 	writePathHits   atomic.Int64
-	readLockWaitNs  atomic.Int64
 	writeLockWaitNs atomic.Int64
 	degraded        atomic.Int64
 	readPathErrors  atomic.Int64
@@ -220,18 +240,48 @@ type counters struct {
 	revalFailed    atomic.Int64
 }
 
+// cacheSnapshot is the immutable published view of the plan cache. A new
+// snapshot is built copy-on-write under the writer mutex on every
+// mutation and published with a single atomic pointer store
+// (publishLocked); readers load the pointer and scan without locks or
+// fences beyond the load itself — Go's atomic.Pointer gives the
+// happens-before edge that makes everything reachable from the snapshot
+// visible. Nothing reachable from a snapshot is ever written again
+// except the instance entries' designated atomic fields (anchor, usage,
+// quarantine), which are the shared mutable channel by design.
+type cacheSnapshot struct {
+	// instances is the scan-ordered instance list (the 5-tuples of §6.1).
+	instances []*instanceEntry
+	// plans is the plan list in ascending fingerprint order — the
+	// deterministic iteration the degraded fallback and Export need.
+	plans []*planEntry
+	// index orders the same instance entries by anchor region weight for
+	// the O(log n + candidates) selectivity hit test (selHit).
+	index selIndex
+	// version counts cache mutations (plan/instance insertions,
+	// evictions, sweeps, imports, re-sorts). The miss path re-runs the
+	// checks only when the version moved past its read-path observation,
+	// so a serial miss pays the checks exactly once.
+	version int64
+	// epoch is the statistics epoch current when the snapshot was
+	// published (diagnostic; per-entry guarantees carry their own epochs
+	// in their anchors).
+	epoch uint64
+}
+
 // SCR is the paper's technique: an online PQO plan cache driven by the
 // selectivity, cost and redundancy checks.
 //
-// Concurrency model (read-mostly serving): the plan list and instance list
-// are guarded by an RWMutex. Process's hot path — the selectivity check,
-// the cost check — and ProbeCheck run under the shared read lock, so any
-// number of cache hits proceed in parallel; only cache management
-// (inserting plans and instances, eviction, sweep, import) takes the write
-// lock. Concurrent misses for byte-identical selectivity vectors share one
-// optimizer call through a singleflight group, and every miss re-checks the
-// cache once more before optimizing, so a burst of identical cold instances
-// performs exactly one optimizer call.
+// Concurrency model (RCU-style read-mostly serving): Process's hot path —
+// the selectivity check, the cost check — plus ProbeCheck, Stats, Export
+// and Revalidate's walk all run against an immutable cacheSnapshot loaded
+// from an atomic pointer; they acquire no locks. Cache management
+// (inserting plans and instances, eviction, sweep, import) mutates the
+// master state under a plain writer mutex and republishes the snapshot
+// copy-on-write. Concurrent misses for byte-identical selectivity vectors
+// share one optimizer call through a singleflight group, and every miss
+// re-checks the cache once more before optimizing, so a burst of
+// identical cold instances performs exactly one optimizer call.
 type SCR struct {
 	cfg Config
 	eng Engine
@@ -246,18 +296,22 @@ type SCR struct {
 	// (the default) always allows.
 	breaker *breaker
 
-	mu        sync.RWMutex
+	// mu serializes writers over the master state below. Readers never
+	// take it — they load snap.
+	mu        sync.Mutex
 	plans     map[string]*planEntry
 	instances []*instanceEntry
-	maxPlans  int
+
+	// snap is the published immutable view of the master state; never nil
+	// after NewSCR. Writers rebuild and swap it via publishLocked.
+	snap atomic.Pointer[cacheSnapshot]
+
+	// maxPlans is the plan-count high-water mark; written under mu, read
+	// lock-free by Stats.
+	maxPlans atomic.Int64
 
 	flight  flightGroup
 	lookups atomic.Int64
-	// version counts cache mutations (plan/instance insertions, evictions,
-	// sweeps, imports). The miss path re-runs the checks only when the
-	// version moved past its read-path observation, so a serial miss pays
-	// the checks exactly once.
-	version atomic.Int64
 	ctr     counters
 }
 
@@ -270,6 +324,7 @@ func NewSCR(eng Engine, cfg Config) (*SCR, error) {
 		return nil, err
 	}
 	s := &SCR{cfg: cfg, eng: eng, plans: make(map[string]*planEntry)}
+	s.snap.Store(&cacheSnapshot{})
 	if ee, ok := eng.(EpochEngine); ok {
 		s.epochEng = ee
 	}
@@ -296,10 +351,11 @@ func (s *SCR) Name() string {
 	return fmt.Sprintf("SCR(%g)", s.cfg.Lambda)
 }
 
-// Stats returns cumulative counters.
+// Stats returns cumulative counters. It reads the published snapshot and
+// the (striped) counters, never the writer mutex, so scraping /stats under
+// load perturbs nothing.
 func (s *SCR) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.snap.Load()
 	st := Stats{
 		Instances:              s.ctr.instances.Load(),
 		OptCalls:               s.ctr.optCalls.Load(),
@@ -312,10 +368,9 @@ func (s *SCR) Stats() Stats {
 		RedundantPlansRejected: s.ctr.redundantPlans.Load(),
 		ReadPathHits:           s.ctr.readPathHits.Load(),
 		WritePathHits:          s.ctr.writePathHits.Load(),
-		ReadLockWait:           time.Duration(s.ctr.readLockWaitNs.Load()),
 		WriteLockWait:          time.Duration(s.ctr.writeLockWaitNs.Load()),
-		CurPlans:               len(s.plans),
-		MaxPlans:               s.maxPlans,
+		CurPlans:               len(snap.plans),
+		MaxPlans:               int(s.maxPlans.Load()),
 	}
 	st.DegradedDecisions = s.ctr.degraded.Load()
 	st.ReadPathErrors = s.ctr.readPathErrors.Load()
@@ -326,7 +381,7 @@ func (s *SCR) Stats() Stats {
 	st.RevalDroppedInstances = s.ctr.revalDroppedI.Load()
 	st.RevalDroppedPlans = s.ctr.revalDroppedP.Load()
 	st.RevalFailed = s.ctr.revalFailed.Load()
-	for _, e := range s.instances {
+	for _, e := range snap.instances {
 		if e.anc.Load().epoch < st.StatsEpoch {
 			st.LaggingInstances++
 		}
@@ -341,10 +396,10 @@ func (s *SCR) Stats() Stats {
 		st.InjectedFaults = fr.InjectedFaults()
 	}
 	var mem int64
-	for _, pe := range s.plans {
+	for _, pe := range snap.plans {
 		mem += int64(pe.cp.MemoryBytes())
 	}
-	mem += int64(len(s.instances)) * 100 // ~100 bytes per 5-tuple (§6.1)
+	mem += int64(len(snap.instances)) * 100 // ~100 bytes per 5-tuple (§6.1)
 	st.MemoryBytes = mem
 	return st
 }
@@ -395,20 +450,37 @@ func (s *SCR) prepareEpoch(pi *engine.PreparedInstance) uint64 {
 	return s.statsEpoch()
 }
 
-// rlock acquires the read lock, charging the wait to the read-path
-// lock-wait counter.
-func (s *SCR) rlock() {
-	start := time.Now()
-	s.mu.RLock()
-	s.ctr.readLockWaitNs.Add(time.Since(start).Nanoseconds())
-}
-
-// lock acquires the write lock, charging the wait to the write-path
-// lock-wait counter.
+// lock acquires the writer mutex, charging the wait to the write-path
+// lock-wait counter. (There is no read-side counterpart anymore: the read
+// path acquires nothing — it loads the published snapshot.)
 func (s *SCR) lock() {
 	start := time.Now()
 	s.mu.Lock()
 	s.ctr.writeLockWaitNs.Add(time.Since(start).Nanoseconds())
+}
+
+// publishLocked rebuilds the immutable cache snapshot from the master
+// state and publishes it with one atomic store, bumping the version.
+// Caller holds the writer mutex. This is the single point where readers
+// gain visibility of a mutation: the snapshot owns fresh slices (master
+// slices are never shared with a published snapshot, so writers may keep
+// mutating them in place), the plan list is re-sorted by fingerprint, and
+// the selectivity index is rebuilt. The O(n log n) rebuild rides on the
+// write path, which already paid a full optimizer call.
+func (s *SCR) publishLocked() {
+	insts := make([]*instanceEntry, len(s.instances))
+	copy(insts, s.instances)
+	plans := make([]*planEntry, 0, len(s.plans))
+	for _, fp := range s.sortedPlanFPs() {
+		plans = append(plans, s.plans[fp])
+	}
+	s.snap.Store(&cacheSnapshot{
+		instances: insts,
+		plans:     plans,
+		index:     buildSelIndex(insts),
+		version:   s.snap.Load().version + 1,
+		epoch:     s.statsEpoch(),
+	})
 }
 
 // Process implements Technique: getPlan under the read lock, then — on a
@@ -459,7 +531,7 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 		// Second chance: an overlapping flight may have populated the
 		// cache between our read-path miss and winning the flight. Only
 		// re-run the checks if the cache actually changed since.
-		if s.version.Load() != seen {
+		if s.snap.Load().version != seen {
 			dec, _, err := s.readPath(ctx, sv)
 			switch {
 			case err != nil && s.cfg.DegradedFallback && !errors.Is(err, ErrCancelled):
@@ -531,38 +603,128 @@ func (s *SCR) maybeResort() {
 	s.lock()
 	defer s.mu.Unlock()
 	s.resortInstances()
+	s.publishLocked()
 }
 
-// snapshot captures the (instance list, cache version) pair under the read
-// lock. The lock is held only for the capture: entries are immutable after
-// insertion apart from their atomic fields, and every mutation that reorders
-// or removes entries replaces the slice, so the returned snapshot stays
-// valid for lock-free scanning (see readPath).
-func (s *SCR) snapshot() ([]*instanceEntry, int64) {
-	s.rlock()
-	defer s.mu.RUnlock()
-	return s.instances, s.version.Load()
+// snapshot returns the published cache snapshot: one atomic load, no
+// locks. The snapshot is immutable (instanceEntry atomic fields aside)
+// and stays valid indefinitely — writers publish replacements, they never
+// touch published state.
+func (s *SCR) snapshot() *cacheSnapshot {
+	return s.snap.Load()
 }
 
-// readPath runs getPlan under the shared read lock, returning the cache
-// version observed (stable while the read lock is held — mutations require
-// the write lock).
+// readPath runs getPlan against the published snapshot, returning the
+// cache version observed so the miss path can skip its second-chance
+// re-check when nothing changed.
 func (s *SCR) readPath(ctx context.Context, sv []float64) (*Decision, int64, error) {
-	// The read lock is held only long enough to capture a consistent
-	// (instance list, version) snapshot; the O(instances) scan itself runs
-	// lock-free. Holding the read lock across the scan would let a single
-	// waiting writer convoy every other reader behind it (Go's RWMutex
-	// blocks new readers once a writer is queued).
-	insts, ver := s.snapshot()
-	dec, err := s.getPlan(ctx, sv, insts)
-	return dec, ver, err
+	snap := s.snapshot()
+	dec, err := s.getPlan(ctx, sv, snap)
+	return dec, snap.version, err
 }
 
-// getPlan is Algorithm 1: the selectivity check over the instance list,
-// then the cost check over the most promising candidates in increasing GL
-// order. Returns (nil, nil) if no cached plan can be inferred λ-optimal.
-// Runs lock-free over an immutable snapshot of the instance list; it
-// mutates only atomic fields.
+// selIndex orders a snapshot's instance entries by anchor region weight
+// ∏ v_i, turning the selectivity hit test into a binary search plus a
+// short window scan. The soundness argument: the check g·l ≤ λ/S with
+// S ≥ 1 and λ ≤ λmax can only pass when g·l ≤ λmax, and
+//
+//	g·l = ∏ max(αi, 1/αi) ≥ max(∏ αi, ∏ 1/αi) = max(wq/wv, wv/wq)
+//
+// with αi = si(qc)/si(qe), wq = ∏ si(qc), wv = ∏ si(qe). So every entry
+// that can pass for a query with region weight wq has its own weight
+// within [wq/λmax, wq·λmax] — the window selHit searches. Entries outside
+// it are rejected without evaluating a single per-dimension factor.
+type selIndex struct {
+	keys []float64        // region weight per entry, ascending
+	ents []*instanceEntry // entry at keys[i]
+	pos  []int32          // ents[i]'s position in the snapshot's scan order
+}
+
+// buildSelIndex constructs the index over insts. Ties in region weight
+// keep scan order so the window walk below stays deterministic.
+func buildSelIndex(insts []*instanceEntry) selIndex {
+	n := len(insts)
+	if n == 0 {
+		return selIndex{}
+	}
+	ord := make([]int32, n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return regionWeight(insts[ord[a]].v) < regionWeight(insts[ord[b]].v)
+	})
+	idx := selIndex{
+		keys: make([]float64, n),
+		ents: make([]*instanceEntry, n),
+		pos:  ord,
+	}
+	for i, p := range ord {
+		e := insts[p]
+		idx.keys[i] = regionWeight(e.v)
+		idx.ents[i] = e
+	}
+	return idx
+}
+
+// selWindowSlop widens the index window bounds multiplicatively to absorb
+// the float rounding difference between the per-dimension product g·l and
+// the region-weight ratio computed as two separate products. An entry
+// sitting exactly on the λmax boundary must not be excluded by one ULP.
+const selWindowSlop = 1e-9
+
+// selHit is the indexed selectivity check: it searches the snapshot's
+// index window [wq/λmax, wq·λmax] and serves the passing entry that comes
+// first in scan order (identical to what the full scan would have
+// served). It returns the number of entries whose factors were evaluated
+// (the SelChecks accounting), and (nil, n, nil) on a miss — which, by the
+// window invariant on selIndex, proves NO entry passes the selectivity
+// check, so the caller can go straight to cost-check candidate
+// collection. An invalid query vector yields an empty or garbage window;
+// the miss path's full scan surfaces the per-dimension validation error
+// exactly as before.
+func (s *SCR) selHit(snap *cacheSnapshot, sv []float64) (*Decision, int, error) {
+	idx := &snap.index
+	if len(idx.keys) == 0 {
+		return nil, 0, nil
+	}
+	wq := regionWeight(sv)
+	if !(wq > 0) || math.IsInf(wq, 0) { // NaN, zero, negative: invalid query vector
+		return nil, 0, nil
+	}
+	lamMax := s.cfg.lambdaMax()
+	lo := wq / lamMax * (1 - selWindowSlop)
+	hi := wq * lamMax * (1 + selWindowSlop)
+	examined := 0
+	var (
+		best    *instanceEntry
+		bestAnc *anchor
+		bestPos = int32(math.MaxInt32)
+	)
+	for i := sort.SearchFloat64s(idx.keys, lo); i < len(idx.keys) && idx.keys[i] <= hi; i++ {
+		e := idx.ents[i]
+		examined++
+		a := e.anc.Load()
+		g, l, err := GLFactors(e.v, sv)
+		if err != nil {
+			return nil, examined, err
+		}
+		if g*l <= s.cfg.lambdaFor(a.c)/a.s && idx.pos[i] < bestPos {
+			best, bestAnc, bestPos = e, a, idx.pos[i]
+		}
+	}
+	if best == nil {
+		return nil, examined, nil
+	}
+	best.u.Add(1)
+	return &Decision{Plan: best.pp.cp, Via: ViaSelectivity, Epoch: bestAnc.epoch}, examined, nil
+}
+
+// getPlan is Algorithm 1: the selectivity check over the instance list
+// (served through the snapshot's selectivity index), then the cost check
+// over the most promising candidates in increasing GL order. Returns
+// (nil, nil) if no cached plan can be inferred λ-optimal. Runs lock-free
+// over the immutable snapshot; it mutates only atomic fields.
 //
 // Epoch semantics during revalidation lag: an entry anchored under an
 // older epoch still serves through the selectivity check — its λ bound
@@ -573,7 +735,24 @@ func (s *SCR) readPath(ctx context.Context, sv []float64) (*Decision, int64, err
 // current-epoch candidates all fail, the best lagging candidate is served
 // as an explicitly flagged fallback instead of stampeding the optimizer
 // while the background revalidator catches the cache up.
-func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry) (*Decision, error) {
+func (s *SCR) getPlan(ctx context.Context, sv []float64, snap *cacheSnapshot) (*Decision, error) {
+	examined := 0
+	defer func() { s.ctr.selChecks.Add(int64(examined)) }()
+
+	// Fast path: the indexed hit test. On the common warm-cache outcome —
+	// a selectivity-check hit — this touches O(log n) keys plus the
+	// entries inside the λmax window and returns without scanning the
+	// instance list at all.
+	dec, n, err := s.selHit(snap, sv)
+	examined += n
+	if err != nil {
+		return nil, err
+	}
+	if dec != nil {
+		return dec, nil
+	}
+
+	insts := snap.instances
 	cur := s.statsEpoch()
 	type cand struct {
 		e  *instanceEntry
@@ -633,8 +812,6 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 		lagGL   float64
 	)
 
-	examined := 0
-	defer func() { s.ctr.selChecks.Add(int64(examined)) }()
 	for _, e := range insts {
 		examined++
 		a := e.anc.Load()
@@ -644,6 +821,9 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, insts []*instanceEntry)
 		}
 		lam := s.cfg.lambdaFor(a.c)
 		if g*l <= lam/a.s {
+			// selHit proved no entry passed, but anchors are live atomics: a
+			// concurrent re-anchor (revalidation loosening S) can create a
+			// pass between the index walk and this scan. Honor it.
 			e.u.Add(1)
 			return &Decision{Plan: e.pp.cp, Via: ViaSelectivity, Epoch: a.epoch}, nil
 		}
@@ -747,7 +927,9 @@ func (s *SCR) addInstance(e *instanceEntry) {
 // epoch is the statistics generation optCost was derived under. Caller
 // holds the write lock.
 func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64, epoch uint64) error {
-	defer s.version.Add(1)
+	// Publish on every exit: even an error path may have mutated master
+	// state (e.g. an eviction before the failure), and readers must see it.
+	defer s.publishLocked()
 	v := make([]float64, len(sv))
 	copy(v, sv)
 	fp := cp.Fingerprint()
@@ -785,8 +967,8 @@ func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64, 
 	pe := &planEntry{cp: cp, fp: fp}
 	s.plans[fp] = pe
 	s.addInstance(newInstance(v, pe, optCost, 1, 1, epoch))
-	if len(s.plans) > s.maxPlans {
-		s.maxPlans = len(s.plans)
+	if n := int64(len(s.plans)); n > s.maxPlans.Load() {
+		s.maxPlans.Store(n)
 	}
 	return nil
 }
@@ -839,13 +1021,16 @@ func (s *SCR) evictLFU() {
 		return
 	}
 	delete(s.plans, victim.fp)
-	// Copy-out rather than filter in place: lock-free readers may still be
-	// scanning the current backing array.
-	kept := make([]*instanceEntry, 0, len(s.instances))
+	// Master slices are never shared with a published snapshot
+	// (publishLocked copies), so filtering in place is safe.
+	kept := s.instances[:0]
 	for _, e := range s.instances {
 		if e.pp != victim {
 			kept = append(kept, e)
 		}
+	}
+	for i := len(kept); i < len(s.instances); i++ {
+		s.instances[i] = nil // release dropped entries to the GC
 	}
 	s.instances = kept
 	s.ctr.evictions.Add(1)
@@ -860,7 +1045,7 @@ func (s *SCR) evictLFU() {
 // snapshot of the instance list and is safe to call concurrently with
 // Process.
 func (s *SCR) ProbeCheck(sv []float64) Check {
-	insts, _ := s.snapshot()
+	insts := s.snapshot().instances
 	type cand struct {
 		e  *instanceEntry
 		a  *anchor
@@ -914,9 +1099,7 @@ func (s *SCR) ProbeCheck(sv []float64) Check {
 // NumInstances returns the current instance-list length (optimized
 // instances retained).
 func (s *SCR) NumInstances() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.instances)
+	return len(s.snapshot().instances)
 }
 
 // SweepRedundantPlans implements Appendix F: it tests every cached plan for
@@ -960,7 +1143,6 @@ func (s *SCR) SweepRedundantPlans() (int, error) {
 				continue
 			}
 			delete(s.plans, pe.fp)
-			// Copy-out: lock-free readers may hold the current array.
 			kept := make([]*instanceEntry, 0, len(s.instances))
 			for _, e := range s.instances {
 				if e.pp != pe {
@@ -968,7 +1150,7 @@ func (s *SCR) SweepRedundantPlans() (int, error) {
 				}
 			}
 			s.instances = append(kept, rebound...)
-			s.version.Add(1)
+			s.publishLocked()
 			dropped++
 			removedOne = true
 			break // re-derive counts after each removal
@@ -1062,13 +1244,13 @@ func (s *SCR) SeedInstance(sv []float64, cp *engine.CachedPlan, optCost, subOpt 
 		}
 		pe = &planEntry{cp: cp, fp: fp}
 		s.plans[fp] = pe
-		if len(s.plans) > s.maxPlans {
-			s.maxPlans = len(s.plans)
+		if n := int64(len(s.plans)); n > s.maxPlans.Load() {
+			s.maxPlans.Store(n)
 		}
 	}
 	v := make([]float64, len(sv))
 	copy(v, sv)
 	s.addInstance(newInstance(v, pe, optCost, subOpt, 0, s.statsEpoch()))
-	s.version.Add(1)
+	s.publishLocked()
 	return nil
 }

@@ -123,17 +123,16 @@ type Stats struct {
 	// in-flight optimizer call (singleflight dedup) instead of paying
 	// their own.
 	SharedOptCalls int64
-	// ReadPathHits counts instances served by the lock-shared read path
-	// (selectivity or cost check under RLock); WritePathHits counts
-	// instances that missed the first read-path pass but were served by
-	// the second-chance check on the miss path, after another flight
-	// populated the cache.
+	// ReadPathHits counts instances served by the lock-free read path
+	// (selectivity or cost check over the published snapshot);
+	// WritePathHits counts instances that missed the first read-path pass
+	// but were served by the second-chance check on the miss path, after
+	// another flight populated the cache.
 	ReadPathHits  int64
 	WritePathHits int64
-	// ReadLockWait / WriteLockWait accumulate time spent waiting to
-	// acquire the cache's read and write locks — contention indicators
-	// for concurrent serving.
-	ReadLockWait  time.Duration
+	// WriteLockWait accumulates time spent waiting to acquire the cache's
+	// writer mutex — the only lock left; the read path acquires none, so
+	// there is no read-side counterpart.
 	WriteLockWait time.Duration
 	// GetPlanRecosts counts Recost invocations on the critical path
 	// (the cost check of getPlan).

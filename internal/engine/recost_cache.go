@@ -2,7 +2,8 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/stripe"
 )
 
 // recostKey identifies one (plan, instance, statistics generation) recost
@@ -42,11 +43,14 @@ type recostShard struct {
 
 // recostCache memoizes Recost results per engine. Recost is deterministic
 // in (plan, sv, statistics), so entries stay valid until the statistics
-// store is rebuilt — the owner must flush on stats reload.
+// store is rebuilt — the owner must flush on stats reload. The hit/miss
+// counters are bumped by every cost-check recost on the serving path, so
+// they are striped: a shared atomic pair here would put all cores back on
+// the same two cache lines the shard locks just avoided.
 type recostCache struct {
 	shards [recostShards]recostShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits   stripe.Int64
+	misses stripe.Int64
 }
 
 func (c *recostCache) shardFor(k recostKey) *recostShard {

@@ -1,19 +1,25 @@
-// Package lockdiscipline checks the RWMutex snapshot-read protocol SCR's
-// concurrent serving depends on (docs/PERF.md): no blocking engine call
-// (Optimize / Recost / PrepareRecost / Process) while a write lock is held,
-// no RLock→Lock upgrades (self-deadlock under Go's writer-preferring
-// RWMutex), no path that returns with a lock still held, and manual Unlock
-// in multi-return functions (where a missed path is one refactor away) is
-// flagged in favor of defer.
+// Package lockdiscipline checks the lock protocol SCR's concurrent serving
+// depends on (docs/PERF.md): no blocking engine call (Optimize / Recost /
+// PrepareRecost / Process) while a write lock is held, no RLock→Lock
+// upgrades (self-deadlock under Go's writer-preferring RWMutex), no path
+// that returns with a lock still held, manual Unlock in multi-return
+// functions (where a missed path is one refactor away) is flagged in favor
+// of defer, and — since the read path went lock-free — no RLock (or rlock
+// wrapper) acquisition anywhere in the Process/getPlan/minCostPlan hot-path
+// call graph: the serving path reads the published RCU snapshot and must
+// never touch a lock's cache line. An audited exception carries
+// `//lint:allow lockdiscipline <reason>`.
 //
-// The analysis is intraprocedural over each function's CFG; the repo's
-// lock/rlock wrapper methods (which charge lock-wait counters) are treated
-// as Lock/RLock on their receiver.
+// The analysis is intraprocedural over each function's CFG; the hot-path
+// rule additionally walks a name-based same-package call graph from the
+// hot roots. The repo's lock/rlock wrapper methods (which charge lock-wait
+// counters) are treated as Lock/RLock on their receiver.
 package lockdiscipline
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/ctrlflow"
@@ -26,8 +32,9 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockdiscipline",
-	Doc: "check SCR's RWMutex protocol: no blocking engine calls under the " +
-		"write lock, no RLock→Lock upgrades, deferred Unlock in multi-return functions",
+	Doc: "check SCR's lock protocol: no blocking engine calls under the " +
+		"write lock, no RLock→Lock upgrades, deferred Unlock in multi-return functions, " +
+		"no read-lock acquisitions in the lock-free Process hot path",
 	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
 	Run:      run,
 }
@@ -49,6 +56,17 @@ var blockingCalls = map[string]bool{
 var wrapperNames = map[string]bool{
 	"lock": true, "rlock": true, "unlock": true, "runlock": true,
 	"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true,
+}
+
+// hotPathRoots are the serving-path entry points. Since the RCU refactor,
+// everything reachable from them (same package) runs lock-free off the
+// published snapshot; a read-lock acquisition anywhere in that call graph
+// reintroduces the shared reader-count cache line and writer convoys the
+// refactor removed.
+var hotPathRoots = map[string]bool{
+	"Process":     true,
+	"getPlan":     true,
+	"minCostPlan": true,
 }
 
 // lockState is the per-mutex abstract state.
@@ -85,7 +103,97 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		checkFunc(pass, fd, g)
 	})
+	checkHotPath(pass, ins)
 	return nil, nil
+}
+
+// checkHotPath enforces the lock-free serving-path invariant: no RLock (or
+// rlock wrapper) acquisition in any function reachable, via same-package
+// calls, from a hotPathRoots entry point. The call graph is name-based and
+// intraprocedural — call sites that type-resolve to a function declared in
+// this package add an edge — which is sound for the flat method set of the
+// core package and cheap enough to run on every build.
+func checkHotPath(pass *analysis.Pass, ins *inspector.Inspector) {
+	// First pass: declared functions and their same-package callees.
+	decls := map[string]*ast.FuncDecl{}
+	callees := map[string][]string{}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		name := fd.Name.Name
+		decls[name] = fd
+		ast.Inspect(fd.Body, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee = fun
+			case *ast.SelectorExpr:
+				callee = fun.Sel
+			default:
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[callee].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				callees[name] = append(callees[name], fn.Name())
+			}
+			return true
+		})
+	})
+
+	// Reachability from the hot roots, visited in sorted order so a
+	// function reachable from several roots is attributed deterministically.
+	// Lock wrapper bodies are excluded: the acquisition is reported at their
+	// call site, where the hot-path context is visible.
+	hot := map[string]string{} // function name → root it is reachable from
+	roots := make([]string, 0, len(hotPathRoots))
+	for r := range hotPathRoots {
+		if _, ok := decls[r]; ok {
+			roots = append(roots, r)
+			hot[r] = r
+		}
+	}
+	sort.Strings(roots)
+	var visit func(name, root string)
+	visit = func(name, root string) {
+		for _, c := range callees[name] {
+			if _, seen := hot[c]; seen || wrapperNames[c] {
+				continue
+			}
+			if _, declared := decls[c]; !declared {
+				continue
+			}
+			hot[c] = root
+			visit(c, root)
+		}
+	}
+	for _, root := range roots {
+		visit(root, root)
+	}
+
+	for name, root := range hot {
+		fd := decls[name]
+		in := ""
+		if name != root {
+			in = " (in " + name + ")"
+		}
+		ast.Inspect(fd.Body, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, isLock := classify(pass, call, false); isLock && op.acquire && op.read {
+				lintutil.Report(pass, call.Pos(),
+					"read lock acquired on the %s hot path%s: the serving path is lock-free by design — read the published snapshot instead, or annotate an audited exception with //lint:allow",
+					root, in)
+			}
+			return true
+		})
+	}
 }
 
 // classify returns the mutexOp for call, or ok=false if it is not a lock

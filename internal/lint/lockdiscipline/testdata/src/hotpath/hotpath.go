@@ -1,0 +1,54 @@
+// Fixture exercising the hot-path read-lock rule: since the RCU refactor,
+// nothing reachable from Process/getPlan/minCostPlan may acquire a read
+// lock — the serving path reads the published snapshot, lock-free.
+package hotpath
+
+import "sync"
+
+type SCR struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// rlock is the wait-counting wrapper; the analyzer treats a call to it as
+// RLock on the receiver. Its own body is not reported — the call site is.
+func (s *SCR) rlock() { s.mu.RLock() }
+
+// Process is a hot root: a direct read-lock acquisition is flagged.
+func (s *SCR) Process(x int) int {
+	s.mu.RLock() // want `read lock acquired on the Process hot path`
+	n := s.n
+	s.mu.RUnlock()
+	return n + s.getPlan(x)
+}
+
+// getPlan is itself a hot root (diagnostics in a root's own body attribute
+// to that root, not to the caller); the rlock wrapper counts as a read lock.
+func (s *SCR) getPlan(x int) int {
+	s.rlock() // want `read lock acquired on the getPlan hot path`
+	defer s.mu.RUnlock()
+	return s.n + s.rank(x)
+}
+
+// rank is not a root, but getPlan calls it: flagged transitively.
+func (s *SCR) rank(x int) int {
+	s.mu.RLock() // want `read lock acquired on the getPlan hot path \(in rank\)`
+	defer s.mu.RUnlock()
+	return s.n * x
+}
+
+// Stats is off the hot-path call graph: read locks are fine here.
+func (s *SCR) Stats() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// minCostPlan carries an audited exception: the allow comment (with its
+// mandatory reason) suppresses the diagnostic on the next line.
+func (s *SCR) minCostPlan() int {
+	//lint:allow lockdiscipline audited cold ranking pass, not per-request
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}

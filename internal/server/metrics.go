@@ -99,7 +99,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.OptCalls) }},
 		{"pqo_shared_opt_calls_total", "Instances served by joining another caller's in-flight optimizer call.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.SharedOptCalls) }},
-		{"pqo_read_path_hits_total", "Cache hits served under the shared read lock.",
+		{"pqo_read_path_hits_total", "Cache hits served by the lock-free snapshot read path.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.ReadPathHits) }},
 		{"pqo_write_path_hits_total", "Cache hits served by the second-chance check on the miss path.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.WritePathHits) }},
@@ -137,8 +137,6 @@ func (s *Server) writeMetrics(w io.Writer) {
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.RevalidatedPlans) }},
 		{"pqo_epoch_lag_fallbacks_total", "Instances served flagged because their candidates lagged the current epoch.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.EpochLagFallbacks) }},
-		{"pqo_read_lock_wait_seconds_total", "Cumulative time waiting for the cache read lock.",
-			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.ReadLockWait.Seconds()) }},
 		{"pqo_write_lock_wait_seconds_total", "Cumulative time waiting for the cache write lock.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.WriteLockWait.Seconds()) }},
 	}

@@ -2,9 +2,9 @@
 // front-end for the paper's online PQO technique.
 //
 // A Server owns one SCR plan cache per registered query template and
-// serves mixed read-mostly traffic concurrently — cache hits resolve
-// under SCR's shared read lock, and concurrent identical misses share a
-// single optimizer call. The API is versioned under /v1 (docs/API.md);
+// serves mixed read-mostly traffic concurrently — cache hits resolve on
+// SCR's lock-free snapshot read path, and concurrent identical misses
+// share a single optimizer call. The API is versioned under /v1 (docs/API.md);
 // the route registry in routes.go is the single source of truth and also
 // generates /v1/openapi.json:
 //
@@ -555,7 +555,6 @@ type StatsRow struct {
 	MemoryBytes       int64   `json:"memoryBytes"`
 	Recosts           int64   `json:"getPlanRecosts"`
 	Violations        int64   `json:"bcgViolations"`
-	ReadLockWaitUS    int64   `json:"readLockWaitMicros"`
 	WriteLockWaitUS   int64   `json:"writeLockWaitMicros"`
 	RecostCacheHits   int64   `json:"recostCacheHits"`
 	RecostCacheMisses int64   `json:"recostCacheMisses"`
@@ -593,7 +592,6 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			ReadPathHits: st.ReadPathHits, WritePathHits: st.WritePathHits,
 			Plans: st.CurPlans, MemoryBytes: st.MemoryBytes,
 			Recosts: st.GetPlanRecosts, Violations: st.Violations,
-			ReadLockWaitUS:    st.ReadLockWait.Microseconds(),
 			WriteLockWaitUS:   st.WriteLockWait.Microseconds(),
 			RecostCacheHits:   st.RecostCacheHits,
 			RecostCacheMisses: st.RecostCacheMisses,

@@ -11,6 +11,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -21,10 +22,16 @@ import (
 type Histogram struct {
 	// bounds has len = buckets+1; bucket i spans [bounds[i], bounds[i+1]).
 	bounds []float64
+	// cum is the cumulative-fraction prefix array, precomputed at build
+	// time: cum[i] is the exact fraction of sample values <= bounds[i].
+	// With it, an estimate is one sort.Search over bounds plus a linear
+	// interpolation between cum[i] and cum[i+1] — no per-bucket
+	// accumulation, and point masses (duplicate boundary values) carry
+	// their true cumulative weight instead of the uniform-depth
+	// approximation i/buckets.
+	cum []float64
 	// total is the number of sample values the histogram was built from.
 	total int
-	// perBucket is total/buckets (the equi-depth invariant, up to rounding).
-	perBucket float64
 }
 
 // BuildHistogram constructs an equi-depth histogram with the given number of
@@ -46,12 +53,13 @@ func BuildHistogram(sorted []float64, buckets int) (*Histogram, error) {
 		buckets = len(sorted)
 	}
 	h := &Histogram{
-		bounds:    make([]float64, buckets+1),
-		total:     len(sorted),
-		perBucket: float64(len(sorted)) / float64(buckets),
+		bounds: make([]float64, buckets+1),
+		cum:    make([]float64, buckets+1),
+		total:  len(sorted),
 	}
+	perBucket := float64(len(sorted)) / float64(buckets)
 	for i := 0; i <= buckets; i++ {
-		idx := int(float64(i) * h.perBucket)
+		idx := int(float64(i) * perBucket)
 		if idx >= len(sorted) {
 			idx = len(sorted) - 1
 		}
@@ -59,6 +67,14 @@ func BuildHistogram(sorted []float64, buckets int) (*Histogram, error) {
 	}
 	// The last bound must cover the maximum sample value.
 	h.bounds[buckets] = sorted[len(sorted)-1]
+	// Precompute the cumulative fraction at each bound from the sample
+	// itself: the count of values <= bounds[i], not the equi-depth ideal
+	// i/buckets — the two differ exactly where duplicates pile up on a
+	// boundary, which is where the uniform approximation was worst.
+	for i, b := range h.bounds {
+		le := sort.Search(len(sorted), func(k int) bool { return sorted[k] > b })
+		h.cum[i] = float64(le) / float64(len(sorted))
+	}
 	return h, nil
 }
 
@@ -73,37 +89,49 @@ func (h *Histogram) Max() float64 { return h.bounds[len(h.bounds)-1] }
 
 // SelectivityLE estimates the fraction of values <= v, interpolating
 // linearly within the containing bucket. The result is clamped to
-// [minSelectivity, 1] so downstream cost ratios stay finite.
+// [minSelectivity, 1] so downstream cost ratios stay finite. A NaN
+// predicate value carries no information; the conservative floor is
+// returned so the multiplicative G/L factors downstream stay finite.
 func (h *Histogram) SelectivityLE(v float64) float64 {
+	if math.IsNaN(v) {
+		return minSelectivity
+	}
 	return clampSel(h.fractionBelow(v))
 }
 
-// SelectivityGE estimates the fraction of values >= v.
+// SelectivityGE estimates the fraction of values >= v; NaN gets the
+// conservative floor, as in SelectivityLE.
 func (h *Histogram) SelectivityGE(v float64) float64 {
+	if math.IsNaN(v) {
+		return minSelectivity
+	}
 	return clampSel(1 - h.fractionBelow(v))
 }
 
-// SelectivityRange estimates the fraction of values in [lo, hi].
+// SelectivityRange estimates the fraction of values in [lo, hi]. An empty
+// range (hi < lo) and NaN endpoints both floor to minSelectivity.
 func (h *Histogram) SelectivityRange(lo, hi float64) float64 {
-	if hi < lo {
+	if math.IsNaN(lo) || math.IsNaN(hi) || hi < lo {
 		return minSelectivity
 	}
 	return clampSel(h.fractionBelow(hi) - h.fractionBelow(lo))
 }
 
-// fractionBelow returns the unclamped estimated fraction of values <= v.
+// fractionBelow returns the unclamped estimated fraction of values <= v:
+// one sort.Search over the bounds, then linear interpolation between the
+// precomputed cumulative fractions at the containing bucket's endpoints.
 func (h *Histogram) fractionBelow(v float64) float64 {
+	n := h.Buckets()
 	if v < h.bounds[0] {
 		return 0
 	}
-	n := h.Buckets()
 	if v >= h.bounds[n] {
 		return 1
 	}
 	// Find the first bound strictly greater than v; buckets 0..j-2 lie
 	// entirely at or below v and bucket j-1 contains v. Using the strict
 	// upper bound makes duplicate boundary values (point masses) count
-	// fully towards "<= v".
+	// fully towards "<= v" — an exact bound hit returns cum[i] exactly.
 	j := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] > v })
 	i := j - 1
 	if i >= n {
@@ -113,11 +141,10 @@ func (h *Histogram) fractionBelow(v float64) float64 {
 		i = 0
 	}
 	lo, hi := h.bounds[i], h.bounds[i+1]
-	frac := 1.0
 	if hi > lo {
-		frac = (v - lo) / (hi - lo)
+		return h.cum[i] + (v-lo)/(hi-lo)*(h.cum[i+1]-h.cum[i])
 	}
-	return (float64(i) + frac) / float64(n)
+	return h.cum[i+1]
 }
 
 // ValueAtFraction returns the value v such that approximately a fraction f

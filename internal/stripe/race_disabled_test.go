@@ -1,0 +1,5 @@
+//go:build !race
+
+package stripe
+
+const raceEnabled = false

@@ -1,0 +1,107 @@
+// Package stripe provides cache-line-padded striped counters for
+// write-hot, read-rare statistics on concurrent serving paths.
+//
+// A single atomic.Int64 bumped by every request serializes all cores on
+// one cache line: each Add forces the line into the local core's cache in
+// exclusive state, evicting it from whichever core wrote last (MESI
+// ping-pong). At production concurrency this coherence traffic — not the
+// add itself — dominates, and it grows with core count, so a path that is
+// otherwise lock-free stops scaling. A stripe.Int64 spreads the counter
+// over several cache-line-sized shards; concurrent writers land on
+// different shards with high probability and never share a line, while
+// readers (Stats, /metrics — rare) pay a short summation loop.
+//
+// The zero value is ready to use, so counters embed by value exactly like
+// atomic.Int64. Totals are eventually consistent across shards in the
+// same way a torn read of several related atomics already was.
+package stripe
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the coherence granularity the shards are padded to. 64
+// bytes covers x86-64 and most arm64 parts; the adjacent-line prefetcher
+// on some Intel cores effectively pairs lines, but doubling the padding
+// buys little once shards outnumber cores.
+const cacheLine = 64
+
+// maxShards bounds the by-value shard array (maxShards × cacheLine bytes
+// per counter). It must be a power of two.
+const maxShards = 64
+
+// nShards is the number of active shards: enough to give every core its
+// own line (sized to the machine's available parallelism, with a floor of
+// 8 so small hosts still spread oversubscribed GOMAXPROCS runs), capped
+// at maxShards. Computed once — NumCPU is fixed for the process lifetime,
+// unlike GOMAXPROCS which tests resize mid-run.
+var nShards = func() int {
+	n := runtime.NumCPU()
+	if n < 8 {
+		n = 8
+	}
+	shards := 1
+	for shards < n && shards < maxShards {
+		shards <<= 1
+	}
+	return shards
+}()
+
+// shard is one padded slot. The counter sits alone in its line: trailing
+// padding keeps the next shard off this line, and the array layout keeps
+// the previous shard's padding between it and this counter.
+type shard struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Int64 is a striped int64 counter. The zero value is ready to use.
+type Int64 struct {
+	shards [maxShards]shard
+}
+
+// slot picks the calling goroutine's shard. There is no portable
+// per-CPU id in Go, so the discriminator is the address of a stack
+// local: distinct goroutines run on distinct stacks (spaced by at least
+// a stack allocation span), so concurrent writers hash to different
+// shards with high probability, and writers running on different cores
+// are different goroutines. The address is consumed immediately as a
+// uintptr, so the local never escapes and Add stays allocation-free
+// (pinned by TestAddDoesNotAllocate). A goroutine's stack may move on
+// growth, re-homing it to a new shard — harmless, totals are sums.
+func slot() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (nShards - 1)
+}
+
+// Add adds delta to the counter.
+func (c *Int64) Add(delta int64) {
+	c.shards[slot()].v.Add(delta)
+}
+
+// Load returns the current total: the sum over all shards. Shards are
+// read individually, so a Load concurrent with Adds observes some subset
+// of them — the same monotone eventual consistency a plain atomic
+// counter read concurrently with writers has.
+func (c *Int64) Load() int64 {
+	var sum int64
+	for i := 0; i < nShards; i++ {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Store resets the counter to v (v on one shard, zero elsewhere). It is
+// not atomic with respect to concurrent Adds and exists for tests and
+// reset-between-phases accounting, mirroring atomic.Int64.Store.
+func (c *Int64) Store(v int64) {
+	for i := 0; i < nShards; i++ {
+		c.shards[i].v.Store(0)
+	}
+	c.shards[0].v.Store(v)
+}
+
+// Shards reports the number of active stripes (for tests and docs).
+func Shards() int { return nShards }

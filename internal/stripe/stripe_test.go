@@ -1,0 +1,106 @@
+package stripe
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Int64
+	if got := c.Load(); got != 0 {
+		t.Fatalf("zero value Load = %d, want 0", got)
+	}
+	c.Add(5)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load after Add(5) = %d, want 5", got)
+	}
+}
+
+func TestShardsPowerOfTwo(t *testing.T) {
+	n := Shards()
+	if n < 8 || n > maxShards || n&(n-1) != 0 {
+		t.Fatalf("Shards() = %d, want a power of two in [8, %d]", n, maxShards)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var c Int64
+	const goroutines = 32
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Load(), int64(goroutines*perG); got != want {
+		t.Fatalf("Load = %d, want %d", got, want)
+	}
+}
+
+func TestNegativeDeltaAndStore(t *testing.T) {
+	var c Int64
+	c.Add(10)
+	c.Add(-3)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+	c.Store(42)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load after Store(42) = %d, want 42", got)
+	}
+	c.Store(0)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Load after Store(0) = %d, want 0", got)
+	}
+}
+
+// The SCR hit path has a strict allocation budget (core's
+// TestProcessHitPathAllocBudget); the counters it bumps must not allocate.
+func TestAddDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	var c Int64
+	allocs := testing.AllocsPerRun(1000, func() { c.Add(1) })
+	if allocs != 0 {
+		t.Fatalf("Add allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestShardSpread(t *testing.T) {
+	// Distinct goroutines should not all collapse onto one shard. This is
+	// probabilistic (stack placement), so only require that *some* spread
+	// exists across many goroutines, and skip on single-shard builds.
+	if Shards() < 2 {
+		t.Skip("single shard")
+	}
+	var c Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Add(1)
+		}()
+	}
+	wg.Wait()
+	used := 0
+	for i := 0; i < nShards; i++ {
+		if c.shards[i].v.Load() != 0 {
+			used++
+		}
+	}
+	// 64 goroutines all hashing to a single shard would mean the
+	// discriminator is broken; even 2 distinct shards proves spreading.
+	if used < 2 {
+		t.Fatalf("64 goroutines used %d shard(s), want >= 2 (GOMAXPROCS=%d)",
+			used, runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,0 +1,131 @@
+#!/bin/sh
+# Scaling sweep for the lock-free (RCU) Process read path (docs/PERF.md).
+#
+#   ./scripts/bench_scaling.sh           # full sweep -> BENCH_PR7.json
+#   ./scripts/bench_scaling.sh -smoke    # fast {1, N} pair, no json output
+#
+# Full mode sweeps BenchmarkProcessParallel/rcu across GOMAXPROCS in powers
+# of two up to max(16, NumCPU), emits the curve to BENCH_PR7.json, and
+# enforces the PR7 acceptance gates:
+#   - throughput at the largest swept point >= 2x the frozen PR2 rwmutex
+#     reference (8959 ns/op at -cpu 8, recorded in BENCH_PR4.json),
+#   - the curve is monotone: ns/op never rises by more than the jitter
+#     allowance as GOMAXPROCS doubles,
+#   - allocs/op unchanged from the 2-alloc hit-path budget.
+# Smoke mode runs just {1, max(8, NumCPU)} with short benchtime and fails
+# if the multi-proc point does not deliver >= 1.25x single-proc throughput
+# — the cheapest signal that the read path stopped scaling. check.sh -bench
+# runs smoke mode.
+#
+# The scaling does not require physical cores: ~10% of operations sleep a
+# simulated 200us optimizer call, so added GOMAXPROCS overlap miss latency
+# even on a single-CPU host; what the sweep detects is serialization (a
+# lock on the hit path flattens or inverts the curve, as the rwmutex and
+# mutex variants of the same benchmark demonstrate).
+set -eu
+cd "$(dirname "$0")/.."
+
+PR2_REF=8959        # BenchmarkProcessParallel/rwmutex ns/op, frozen at PR2
+ALLOC_BUDGET=2      # hit-path allocs/op (TestProcessHitPathAllocBudget)
+JITTER=1.05         # monotonicity allowance between adjacent sweep points
+
+NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+if [ "${1:-}" = "-smoke" ]; then
+    HI=$NCPU
+    [ "$HI" -lt 8 ] && HI=8
+    go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessParallel$/rcu' \
+        -cpu "1,$HI" -benchtime 1000x -count 2 | tee "$OUT"
+    awk -v hi="$HI" '
+    $1 ~ /^BenchmarkProcessParallel\/rcu(-[0-9]+)?$/ && $4 == "ns/op" {
+        # go test omits the -N GOMAXPROCS suffix when N == 1.
+        n = $1
+        if (sub(/^.*-/, "", n) == 0) n = "1"
+        if (!(n in ns) || $3 + 0 < ns[n]) ns[n] = $3 + 0
+    }
+    END {
+        if (!("1" in ns) || !(hi in ns)) { print "bench_scaling.sh: missing samples"; exit 1 }
+        ratio = ns["1"] / ns[hi]
+        printf "bench_scaling.sh: rcu %d ns/op @1 proc, %d ns/op @%d procs (%.2fx throughput)\n", ns["1"], ns[hi], hi, ratio
+        if (ratio < 1.25) {
+            printf "bench_scaling.sh: FAIL — read path stopped scaling (< 1.25x at %d procs)\n", hi
+            exit 1
+        }
+    }' "$OUT"
+    echo "bench_scaling.sh: smoke ok"
+    exit 0
+fi
+
+# Powers of two up to max(16, NumCPU).
+MAX=16
+[ "$NCPU" -gt "$MAX" ] && MAX=$NCPU
+CPUS=1
+P=2
+while [ "$P" -le "$MAX" ]; do
+    CPUS="$CPUS,$P"
+    P=$((P * 2))
+done
+
+go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessParallel$/rcu' \
+    -cpu "$CPUS" -benchmem -benchtime 2000x -count 3 "$@" | tee "$OUT"
+
+awk -v ref="$PR2_REF" -v budget="$ALLOC_BUDGET" -v jitter="$JITTER" '
+$1 ~ /^BenchmarkProcessParallel\/rcu(-[0-9]+)?$/ && /ns\/op/ {
+    # go test omits the -N GOMAXPROCS suffix when N == 1.
+    n = $1
+    if (sub(/^.*-/, "", n) == 0) n = "1"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op" && (!(n in ns) || $(i-1) + 0 < ns[n])) {
+            ns[n] = $(i-1) + 0
+            for (j = i; j <= NF; j++) {
+                if ($j == "B/op")      bytes[n]  = $(j-1) + 0
+                if ($j == "allocs/op") allocs[n] = $(j-1) + 0
+            }
+        }
+    }
+    if (!(n in seen)) { order[++cnt] = n; seen[n] = 1 }
+}
+END {
+    if (cnt == 0) { print "bench_scaling.sh: no rcu samples" > "/dev/stderr"; exit 1 }
+    # order[] follows -cpu order, i.e. ascending GOMAXPROCS.
+    maxn = order[cnt]
+    speedup = ref / ns[maxn]
+    fail = 0
+    for (i = 2; i <= cnt; i++) {
+        prev = order[i-1]; cur = order[i]
+        if (ns[cur] > ns[prev] * jitter) {
+            printf "bench_scaling.sh: FAIL — curve not monotone: %s procs %d ns/op -> %s procs %d ns/op\n", prev, ns[prev], cur, ns[cur] > "/dev/stderr"
+            fail = 1
+        }
+    }
+    for (i = 1; i <= cnt; i++) {
+        n = order[i]
+        if (allocs[n] + 0 > budget) {
+            printf "bench_scaling.sh: FAIL — %s allocs/op at %s procs exceeds the %d-alloc budget\n", allocs[n], n, budget > "/dev/stderr"
+            fail = 1
+        }
+    }
+    if (speedup < 2) {
+        printf "bench_scaling.sh: FAIL — %.2fx vs PR2 rwmutex reference at %s procs, need >= 2x\n", speedup, maxn > "/dev/stderr"
+        fail = 1
+    }
+    printf "{\n  \"pr\": 7,\n"
+    printf "  \"note\": \"BenchmarkProcessParallel/rcu (lock-free snapshot read path) swept across GOMAXPROCS; reference = PR2 rwmutex discipline at -cpu 8\",\n"
+    printf "  \"pr2_reference\": {\"BenchmarkProcessParallel/rwmutex\": {\"ns_per_op\": %d, \"bytes_per_op\": 219, \"allocs_per_op\": 2}},\n", ref
+    printf "  \"scaling\": {\n"
+    for (i = 1; i <= cnt; i++) {
+        n = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}", n, ns[n], bytes[n], allocs[n]
+        printf (i < cnt) ? ",\n" : "\n"
+    }
+    printf "  },\n"
+    printf "  \"speedup_vs_pr2_at_%s_procs\": %.2f\n}\n", maxn, speedup
+    if (fail) exit 1
+    printf "bench_scaling.sh: %.2fx vs PR2 reference at %s procs, curve monotone, allocs within budget\n", speedup, maxn > "/dev/stderr"
+}' "$OUT" > BENCH_PR7.json
+
+cat BENCH_PR7.json
+echo "bench_scaling.sh: wrote BENCH_PR7.json"

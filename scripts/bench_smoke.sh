@@ -2,8 +2,14 @@
 # Bench smoke: fast regression gates for the serving hot path, run by
 # ./scripts/check.sh -bench (docs/PERF.md has the full workflow).
 #
-# Gate 1 — throughput: BenchmarkProcessParallel/rwmutex against the frozen
-# PR4 reference in BENCH_PR4.json; fails on a >25% ns/op regression.
+# Gate 1 — throughput: BenchmarkProcessParallel/rcu (the shipped lock-free
+# read path) against the frozen PR7 sweep point at 8 procs in
+# BENCH_PR7.json. The limit is 2.5x the reference: on an oversubscribed
+# single-CPU host individual samples jitter a lot, so the gate takes the
+# best of 3 runs and is tuned to catch serialization (a lock back on the
+# hit path costs 10-30x, see the rwmutex/mutex variants), not scheduler
+# noise. 2.5x the reference also sits just below the retired PR2 rwmutex
+# design's 8959 ns/op — regressing to lock-era throughput fails.
 # Gate 2 — revalidation tail: BenchmarkProcessDuringRevalidation must show
 # p99 Process latency with background epoch revalidation running within
 # 2x of the same traffic's steady-state p99 (docs/STATS.md: a statistics
@@ -11,27 +17,30 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BASE=$(sed -n 's/.*"BenchmarkProcessParallel\/rwmutex": {"ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR4.json)
+BASE=$(sed -n 's/.*"8": {"ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR7.json)
 if [ -z "$BASE" ]; then
-    echo "bench_smoke.sh: no BenchmarkProcessParallel/rwmutex reference in BENCH_PR4.json" >&2
+    echo "bench_smoke.sh: no 8-proc rcu reference in BENCH_PR7.json" >&2
     exit 1
 fi
 
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
-go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessParallel$' \
-    -cpu 8 -benchtime 0.5s -count 3 | tee "$OUT"
+# -benchtime matches the fixed iteration count bench_scaling.sh used to
+# record the reference: with a time-based benchtime the cache keeps
+# growing over ~100k iterations and ns/op measures a different workload.
+go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessParallel$/rcu' \
+    -cpu 8 -benchtime 2000x -count 3 | tee "$OUT"
 awk -v base="$BASE" '
-$1 ~ /^BenchmarkProcessParallel\/rwmutex/ && $4 == "ns/op" {
+$1 ~ /^BenchmarkProcessParallel\/rcu-8/ && $4 == "ns/op" {
     if (best == 0 || $3 + 0 < best) best = $3 + 0
 }
 END {
-    if (best == 0) { print "bench_smoke.sh: no rwmutex samples"; exit 1 }
-    limit = base * 1.25
-    printf "bench_smoke.sh: ProcessParallel/rwmutex best %d ns/op vs PR4 reference %d (limit %.0f)\n", best, base, limit
+    if (best == 0) { print "bench_smoke.sh: no rcu samples"; exit 1 }
+    limit = base * 2.5
+    printf "bench_smoke.sh: ProcessParallel/rcu best %d ns/op vs PR7 reference %d (limit %.0f)\n", best, base, limit
     if (best > limit) {
-        printf "bench_smoke.sh: FAIL — >25%% regression against BENCH_PR4.json\n"
+        printf "bench_smoke.sh: FAIL — hot-path regression against BENCH_PR7.json\n"
         exit 1
     }
 }' "$OUT"

@@ -60,10 +60,14 @@ case "${1:-}" in
     go test ./internal/memo/ -run '^$' -benchtime 100x -benchmem \
         -bench 'BenchmarkOptimize$|BenchmarkRecost$'
     go test ./internal/server/ -run '^$' -bench BenchmarkServerParallel -cpu 8
-    # Regression gates: ProcessParallel vs the frozen BENCH_PR4.json
-    # reference (>25% fails) and Process p99 during background epoch
-    # revalidation vs steady state (>2x fails).
+    # Regression gates: ProcessParallel/rcu vs the frozen BENCH_PR7.json
+    # sweep point and Process p99 during background epoch revalidation vs
+    # steady state (>2x fails).
     ./scripts/bench_smoke.sh
+    # Scaling smoke: the lock-free read path must still deliver >= 1.25x
+    # single-proc throughput at max(8, NumCPU) procs; a lock reintroduced
+    # on the hit path flattens the curve and fails here in seconds.
+    ./scripts/bench_scaling.sh -smoke
     ;;
 -chaos)
     # Full chaos streams: long fault-injected request replays under the
