@@ -1,9 +1,11 @@
 // Command pqolint runs the project's invariant analyzers (docs/LINT.md)
 // over Go packages.
 //
-// Two modes share one binary:
+// Four modes share one binary:
 //
 //	pqolint ./...              # standalone: re-execs `go vet -vettool=pqolint <patterns>`
+//	pqolint -json ./...        # standalone, machine-readable findings (suppressed included)
+//	pqolint -allows [dir]      # audit every //lint:allow comment in the tree
 //	go vet -vettool=$(which pqolint) ./...   # vet tool: unitchecker protocol
 //
 // The go command's vet driver handles package loading, export data and
@@ -12,18 +14,40 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"repro/internal/lint"
+	"repro/internal/lint/lintutil"
 )
 
 func main() {
 	args := os.Args[1:]
+	// Own modes are intercepted before the unitchecker-protocol sniff:
+	// they start with '-' and would otherwise be mistaken for vet flags.
+	// A *.cfg operand means the go vet driver is invoking us as its tool
+	// (it forwards flags like -json to the tool), so those invocations
+	// fall through to the unitchecker protocol.
+	if len(args) > 0 && !hasCfgArg(args) {
+		switch args[0] {
+		case "-allows", "--allows":
+			os.Exit(allowsMain(args[1:]))
+		case "-json", "--json":
+			os.Exit(jsonMain(args[1:]))
+		}
+	}
 	if vetMode(args) {
 		unitchecker.Main(lint.Analyzers()...) // does not return
 	}
@@ -36,6 +60,16 @@ func main() {
 func vetMode(args []string) bool {
 	for _, a := range args {
 		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCfgArg reports whether any argument is a unitchecker *.cfg unit.
+func hasCfgArg(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") {
 			return true
 		}
 	}
@@ -65,4 +99,237 @@ func standalone(patterns []string) int {
 		return 2
 	}
 	return 0
+}
+
+// allowsMain implements `pqolint -allows [dir]`: a parse-only audit of
+// every //lint:allow comment under dir (default "."), skipping vendor and
+// testdata trees. Each suppression prints as
+//
+//	file:line<TAB>analyzer<TAB>reason
+//
+// sorted by position. An allow naming an analyzer the suite does not have
+// (typo, or a stale name after a rename) or carrying no reason is an audit
+// error: it is reported on stderr and the exit status is 1, so CI catches
+// suppressions that silently stopped suppressing.
+func allowsMain(args []string) int {
+	root := "."
+	if len(args) > 0 {
+		root = args[0]
+	}
+	known := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		known[a.Name] = true
+	}
+
+	type row struct {
+		file   string
+		line   int
+		name   string
+		reason string
+	}
+	var rows []row
+	bad := 0
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "vendor" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if f == nil {
+			return perr
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				spec, ok := lintutil.ParseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, n := range spec.Names {
+					if !known[n] {
+						fmt.Fprintf(os.Stderr, "pqolint -allows: %s:%d: unknown analyzer %q in lint:allow\n", path, p.Line, n)
+						bad++
+						continue
+					}
+					if spec.Reason == "" {
+						fmt.Fprintf(os.Stderr, "pqolint -allows: %s:%d: lint:allow %s has no reason\n", path, p.Line, n)
+						bad++
+						continue
+					}
+					rows = append(rows, row{file: path, line: p.Line, name: n, reason: spec.Reason})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqolint -allows: %v\n", err)
+		return 2
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].file != rows[j].file {
+			return rows[i].file < rows[j].file
+		}
+		if rows[i].line != rows[j].line {
+			return rows[i].line < rows[j].line
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		fmt.Printf("%s:%d\t%s\t%s\n", r.file, r.line, r.name, r.reason)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// finding is one machine-readable diagnostic of `pqolint -json`.
+type finding struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// SuppressedBy is the reason of the //lint:allow comment that matched
+	// this diagnostic, empty for a live finding. Suppressed findings are
+	// included so CI artifacts record intentional violations alongside
+	// real ones.
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+}
+
+// jsonMain implements `pqolint -json [patterns]`: it re-execs the vet
+// driver with JSON output and suppressed-diagnostic emission enabled,
+// parses the per-package JSON tree, and prints one sorted JSON array of
+// findings on stdout. The exit status is 1 only when an unsuppressed
+// finding remains, so the artifact can be uploaded from a green build.
+func jsonMain(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pqolint: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-json", "-vettool=" + exe}, patterns...)...)
+	cmd.Env = append(os.Environ(), "PQOLINT_EMIT_SUPPRESSED=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	findings, perr := parseVetJSON(stderr.Bytes(), stdout.Bytes())
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "pqolint -json: %v\n", perr)
+		os.Stderr.Write(stderr.Bytes())
+		return 2
+	}
+	if runErr != nil && len(findings) == 0 {
+		// vet failed without producing diagnostics: a build or loading
+		// error, not lint findings. Surface it as-is.
+		os.Stderr.Write(stderr.Bytes())
+		if ee, ok := runErr.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "pqolint -json: %v\n", runErr)
+		return 2
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return findings[i].Pos < findings[j].Pos
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if findings == nil {
+		findings = []finding{}
+	}
+	if err := enc.Encode(findings); err != nil {
+		fmt.Fprintf(os.Stderr, "pqolint -json: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		if f.SuppressedBy == "" {
+			return 1
+		}
+	}
+	return 0
+}
+
+// parseVetJSON decodes `go vet -json` output: per-package blocks of
+// `# pkgpath` comment lines followed by one JSON object mapping package
+// path → analyzer → diagnostics. The driver interleaves the blocks on
+// stderr (stdout stays empty), but both streams are accepted.
+func parseVetJSON(streams ...[]byte) ([]finding, error) {
+	type vetDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var out []finding
+	wd, _ := os.Getwd()
+	for _, raw := range streams {
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		// Strip the `# pkg` comment lines; the rest is a stream of JSON
+		// objects.
+		var buf bytes.Buffer
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+		for sc.Scan() {
+			if strings.HasPrefix(strings.TrimSpace(sc.Text()), "#") {
+				continue
+			}
+			buf.Write(sc.Bytes())
+			buf.WriteByte('\n')
+		}
+		dec := json.NewDecoder(&buf)
+		for dec.More() {
+			var tree map[string]map[string][]vetDiag
+			if err := dec.Decode(&tree); err != nil {
+				return nil, fmt.Errorf("decoding vet output: %w", err)
+			}
+			for _, analyzers := range tree {
+				for name, diags := range analyzers {
+					for _, d := range diags {
+						f := finding{Pos: relPos(wd, d.Posn), Analyzer: name, Message: d.Message}
+						if rest, ok := strings.CutPrefix(d.Message, lintutil.SuppressedPrefix); ok {
+							if i := strings.Index(rest, "] "); i >= 0 {
+								f.SuppressedBy = rest[:i]
+								f.Message = rest[i+2:]
+							}
+						}
+						out = append(out, f)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// relPos rewrites an absolute file position relative to wd when possible,
+// keeping artifact paths stable across checkouts.
+func relPos(wd, posn string) string {
+	if wd == "" || !strings.HasPrefix(posn, wd) {
+		return posn
+	}
+	if rel, err := filepath.Rel(wd, strings.SplitN(posn, ":", 2)[0]); err == nil {
+		if i := strings.Index(posn, ":"); i >= 0 {
+			return rel + posn[i:]
+		}
+		return rel
+	}
+	return posn
 }

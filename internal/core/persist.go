@@ -60,6 +60,9 @@ func (s *SCR) Export() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// sortedPlanFPs returns the plan fingerprints in deterministic order.
+//
+//lint:allow hotalloc ordered-iteration helper for the writer and management paths, off the per-request path
 func (s *SCR) sortedPlanFPs() []string {
 	fps := make([]string, 0, len(s.plans))
 	for fp := range s.plans {

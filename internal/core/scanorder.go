@@ -52,6 +52,8 @@ func regionWeight(sv []float64) float64 {
 // effective as the cache evolves. It sorts the master slice in place —
 // readers only ever see the copies publishLocked makes — and the caller
 // republishes so the new order becomes visible.
+//
+//lint:allow hotalloc amortized writer-path resort, runs every resortEvery lookups rather than per request
 func (s *SCR) resortInstances() {
 	if s.cfg.Scan == ScanInsertion {
 		return

@@ -467,6 +467,8 @@ func (s *SCR) lock() {
 // mutating them in place), the plan list is re-sorted by fingerprint, and
 // the selectivity index is rebuilt. The O(n log n) rebuild rides on the
 // write path, which already paid a full optimizer call.
+//
+//lint:allow hotalloc writer-path snapshot rebuild, amortized against the mutation that triggered it
 func (s *SCR) publishLocked() {
 	insts := make([]*instanceEntry, len(s.instances))
 	copy(insts, s.instances)
@@ -527,11 +529,13 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 
 	// Both checks failed: full optimizer call, deduplicated across
 	// concurrent identical instances.
+	//lint:allow hotalloc miss-path flight closure, dominated by the optimizer call it wraps
 	dec2, shared, err := s.flight.Do(ctx, svKey(sv), func() (*Decision, error) {
 		// Second chance: an overlapping flight may have populated the
 		// cache between our read-path miss and winning the flight. Only
 		// re-run the checks if the cache actually changed since.
 		if s.snap.Load().version != seen {
+			//lint:allow rcupublish intentional second-chance re-check after winning the flight
 			dec, _, err := s.readPath(ctx, sv)
 			switch {
 			case err != nil && s.cfg.DegradedFallback && !errors.Is(err, ErrCancelled):

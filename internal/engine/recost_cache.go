@@ -89,6 +89,8 @@ func (c *recostCache) get(k recostKey, sv []float64) (float64, bool) {
 }
 
 // put stores a result, copying sv so callers may reuse their buffer.
+//
+//lint:allow hotalloc admission path after a computed recost, dominated by the recost itself
 func (c *recostCache) put(k recostKey, sv []float64, cost float64) {
 	s := c.shardFor(k)
 	svCopy := append([]float64(nil), sv...)

@@ -1,0 +1,18 @@
+package epochflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/epochflow"
+	"repro/internal/lint/linttest"
+)
+
+func TestEpochFlow(t *testing.T) {
+	linttest.Run(t, epochflow.Analyzer, "core")
+}
+
+// TestSeededRegression proves the analyzer catches the defect class it
+// was built for: the minCostPlan ratio test with its epoch guard removed.
+func TestSeededRegression(t *testing.T) {
+	linttest.Run(t, epochflow.Analyzer, "engine")
+}

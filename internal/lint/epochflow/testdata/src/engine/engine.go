@@ -1,0 +1,32 @@
+// Package engine seeds the regression epochflow exists to catch: the
+// minCostPlan cost-ratio comparison with its epoch guard deliberately
+// removed. The recost may now come from a newer statistics generation
+// than the anchor it is divided by.
+package engine
+
+type anchor struct {
+	c, s  float64
+	epoch uint64
+}
+
+type candidate struct {
+	a anchor
+	l float64
+}
+
+func recostWithEpoch(fp string) (float64, uint64, error) { return 1, 0, nil }
+
+// MinCostPlan lost its `recEpoch != c.a.epoch` guard — the seeded bug.
+func MinCostPlan(cands []candidate, lam float64) int {
+	for i, c := range cands {
+		newCost, _, err := recostWithEpoch("fp")
+		if err != nil {
+			continue
+		}
+		r := newCost / c.a.c    // want `re-cost result compared against anchor statistics without an epoch guard`
+		if r*c.l <= lam/c.a.s { // want `re-cost result compared against anchor statistics without an epoch guard`
+			return i
+		}
+	}
+	return -1
+}

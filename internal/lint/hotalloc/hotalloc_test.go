@@ -1,0 +1,19 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hot")
+}
+
+// TestSeededRegression proves the analyzer catches the defect class it
+// was built for: a hot-path candidate scratch whose capacity
+// preallocation was removed.
+func TestSeededRegression(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hotseed")
+}

@@ -1,0 +1,91 @@
+// Package hot models the serving hot path for the hotalloc analyzer:
+// Process is the root, the Decision it returns is the one budgeted
+// allocation, and everything else Process reaches must not allocate.
+package hot
+
+type item struct {
+	fp   string
+	cost float64
+}
+
+type Decision struct {
+	Plan string
+	Cost float64
+}
+
+type stat struct{ n int }
+
+type table struct {
+	items []item
+	hist  []stat
+	last  *stat
+}
+
+func note(v any) {}
+
+func spawn(f func()) { f() }
+
+// Process is a hot-path root: everything it reaches is budget-checked.
+func (t *table) Process(fp string) *Decision {
+	if len(t.hist) == 0 {
+		t.rebuild()
+	}
+	t.observe(fp)
+	t.last = t.retain(fp)
+	best := t.minCostPlan(fp)
+	return &Decision{Plan: fp, Cost: best} // the budgeted allocation: exempt
+}
+
+// minCostPlan preallocates its scratch once (allowed, with reason) and
+// appends into it growth-free: compliant.
+func (t *table) minCostPlan(fp string) float64 {
+	cands := make([]float64, 0, 8) //lint:allow hotalloc single budgeted scratch allocation per call
+	for _, it := range t.items {
+		if it.fp == fp {
+			cands = append(cands, it.cost)
+		}
+	}
+	best := 1e18
+	for _, c := range cands {
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// observe is reachable from Process and allocates every call, five ways.
+func (t *table) observe(fp string) {
+	seen := make(map[string]bool) // want `make of a map in observe \(hot path via Process\) breaks the per-call allocation budget`
+	seen[fp] = true
+	var all []string
+	all = append(all, fp) // want `append growth over a non-preallocated slice in observe`
+	local := func() int { return len(all) }
+	spawn(func() { _ = local() }) // want `escaping closure allocation \(captured variables move to the heap\) in observe`
+	note(stat{n: len(all)})       // want `interface boxing of stat in observe`
+}
+
+// retain leaks a per-call heap node that is not the budgeted Decision.
+func (t *table) retain(fp string) *stat {
+	return &stat{n: len(fp)} // want `heap allocation of stat in retain \(hot path via Process\)`
+}
+
+// rebuild is cold (startup only): the decl-level allow prunes it and
+// everything only reachable through it from the hot-path walk.
+//
+//lint:allow hotalloc cold startup path, not reachable per steady-state request
+func (t *table) rebuild() {
+	t.hist = make([]stat, 0, 64)
+	t.colder()
+}
+
+// colder allocates freely: it is only reachable through the pruned
+// rebuild, so nothing is reported.
+func (t *table) colder() {
+	_ = make([]int, 8)
+}
+
+// setup is not reachable from any root: unchecked.
+func setup() []int { return make([]int, 4) }
+
+var _ = setup

@@ -1,0 +1,28 @@
+// Package hotseed seeds the regression hotalloc exists to catch: the
+// candidate scratch in minCostPlan lost its capacity preallocation, so
+// every Process call now grows the slice through repeated reallocations —
+// exactly the 2-alloc-budget break docs/PERF.md warns about.
+package hotseed
+
+type cand struct{ cost float64 }
+
+type table struct{ cands []cand }
+
+func (t *table) Process() float64 { return t.minCostPlan() }
+
+// minCostPlan lost its `make([]cand, 0, capHint)` — the seeded bug.
+func (t *table) minCostPlan() float64 {
+	var out []cand
+	for _, c := range t.cands {
+		if c.cost > 0 {
+			out = append(out, c) // want `append growth over a non-preallocated slice in minCostPlan \(hot path via minCostPlan\)`
+		}
+	}
+	best := 1e18
+	for _, c := range out {
+		if c.cost < best {
+			best = c.cost
+		}
+	}
+	return best
+}

@@ -11,7 +11,10 @@ import (
 	"repro/internal/lint/costdeterminism"
 	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/envpool"
+	"repro/internal/lint/epochflow"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/lockdiscipline"
+	"repro/internal/lint/rcupublish"
 )
 
 // Analyzers returns the full pqolint suite in stable order.
@@ -22,5 +25,8 @@ func Analyzers() []*analysis.Analyzer {
 		costdeterminism.Analyzer,
 		cacheinvalidation.Analyzer,
 		ctxflow.Analyzer,
+		rcupublish.Analyzer,
+		epochflow.Analyzer,
+		hotalloc.Analyzer,
 	}
 }

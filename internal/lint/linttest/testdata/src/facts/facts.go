@@ -1,0 +1,18 @@
+// Fixture for the fact-plumbing meta-test: a tagging analyzer exports an
+// object fact for every exported function and a package fact counting
+// them; a consumer analyzer (which Requires the tagger) imports both and
+// reports what it sees. The diagnostics below therefore only appear when
+// facts survive the export → gob round trip → import path.
+package facts
+
+func Tracked() int { return 1 } // want `fact tagged on Tracked`
+
+func AlsoTracked() int { return 2 } // want `fact tagged on AlsoTracked`
+
+// unexported functions are not tagged: no diagnostic.
+func hidden() int { return Tracked() + AlsoTracked() }
+
+var _ = hidden
+
+// Count anchors the package-fact expectation.
+const Count = 0 // want `package fact counts 2 tagged funcs`

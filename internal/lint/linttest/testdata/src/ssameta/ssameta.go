@@ -1,0 +1,29 @@
+// Fixture for the SSA meta-test: a probe analyzer that Requires
+// ssalite.Analyzer reports every MakeSlice and MakeClosure instruction it
+// sees, plus any function whose translation came back Incomplete. The
+// wants below pin down that linttest drives the SSA dependency for real:
+// instruction positions, literal naming (outer$litN) and completeness.
+package ssameta
+
+func build(n int) []int {
+	s := make([]int, 0, n) // want `makeslice in build`
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+func wrap() func() int {
+	x := 1
+	return func() int { return x } // want `closure wrap\$lit\d+ in wrap`
+}
+
+// loops exercises range translation; no allocation instructions, so no
+// diagnostics — and, critically, no Incomplete report either.
+func loops(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -7,6 +7,7 @@ package lintutil
 import (
 	"go/ast"
 	"go/token"
+	"os"
 	"strings"
 	"sync"
 
@@ -25,10 +26,42 @@ import (
 // invariant violation stays auditable.
 const allowPrefix = "//lint:allow"
 
+// allowRecord is one analyzer name an allow comment suppresses, together
+// with the recorded reason.
+type allowRecord struct {
+	Name   string
+	Reason string
+}
+
+// AllowSpec is one parsed //lint:allow comment: the analyzer names it
+// suppresses and the mandatory reason (empty when the comment is
+// malformed).
+type AllowSpec struct {
+	Names  []string
+	Reason string
+}
+
+// ParseAllow parses a comment's text as a lint:allow comment. ok is false
+// when the comment is not an allow comment or names no analyzer. A spec
+// with an empty Reason is malformed: analyzers report it via
+// ReportAllowMisuse, and pqolint -allows lists it as an audit error.
+func ParseAllow(text string) (spec AllowSpec, ok bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return AllowSpec{}, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+	if len(fields) == 0 {
+		return AllowSpec{}, false
+	}
+	spec.Names = strings.Split(fields[0], ",")
+	spec.Reason = strings.Join(fields[1:], " ")
+	return spec, true
+}
+
 // allowTable indexes the suppression comments of one package.
 type allowTable struct {
-	// lines maps file name → line → analyzer names allowed there.
-	lines map[string]map[int][]string
+	// lines maps file name → line → suppressions active there.
+	lines map[string]map[int][]allowRecord
 	// malformed holds positions of allow comments with no reason, keyed by
 	// the analyzer names they mention.
 	malformed map[string][]token.Pos
@@ -46,23 +79,18 @@ func allowsFor(pass *analysis.Pass) *allowTable {
 		return t
 	}
 	t := &allowTable{
-		lines:     map[string]map[int][]string{},
+		lines:     map[string]map[int][]allowRecord{},
 		malformed: map[string][]token.Pos{},
 	}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
-					continue
+				spec, ok := ParseAllow(c.Text)
+				if !ok {
+					continue // not an allow, or bare "//lint:allow"
 				}
-				rest := strings.TrimPrefix(c.Text, allowPrefix)
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue // bare "//lint:allow": nothing to attribute it to
-				}
-				names := strings.Split(fields[0], ",")
-				if len(fields) < 2 {
-					for _, n := range names {
+				if spec.Reason == "" {
+					for _, n := range spec.Names {
 						t.malformed[n] = append(t.malformed[n], c.Pos())
 					}
 					continue
@@ -70,11 +98,14 @@ func allowsFor(pass *analysis.Pass) *allowTable {
 				p := pass.Fset.Position(c.Pos())
 				m := t.lines[p.Filename]
 				if m == nil {
-					m = map[int][]string{}
+					m = map[int][]allowRecord{}
 					t.lines[p.Filename] = m
 				}
-				m[p.Line] = append(m[p.Line], names...)
-				m[p.Line+1] = append(m[p.Line+1], names...)
+				for _, n := range spec.Names {
+					rec := allowRecord{Name: n, Reason: spec.Reason}
+					m[p.Line] = append(m[p.Line], rec)
+					m[p.Line+1] = append(m[p.Line+1], rec)
+				}
 			}
 		}
 	}
@@ -82,17 +113,49 @@ func allowsFor(pass *analysis.Pass) *allowTable {
 	return t
 }
 
+// SuppressedPrefix marks diagnostics that a //lint:allow comment matched:
+// they are emitted (instead of dropped) only when EmitSuppressed is set,
+// so pqolint -json can list intentional violations alongside real ones.
+// The text inside the brackets after the colon is the recorded reason.
+const SuppressedPrefix = "[suppressed:"
+
+// EmitSuppressed reports whether suppressed diagnostics should be emitted
+// with SuppressedPrefix rather than dropped. pqolint -json sets the
+// environment variable so its report can include intentional violations.
+func EmitSuppressed() bool {
+	return os.Getenv("PQOLINT_EMIT_SUPPRESSED") == "1"
+}
+
 // Report files a diagnostic for pass's analyzer at pos unless a matching
-// //lint:allow comment suppresses it.
+// //lint:allow comment suppresses it. Under EmitSuppressed a suppressed
+// diagnostic is emitted anyway, tagged with SuppressedPrefix and the
+// allow's reason.
 func Report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
 	t := allowsFor(pass)
 	p := pass.Fset.Position(pos)
-	for _, name := range t.lines[p.Filename][p.Line] {
-		if name == pass.Analyzer.Name {
+	for _, rec := range t.lines[p.Filename][p.Line] {
+		if rec.Name == pass.Analyzer.Name {
+			if EmitSuppressed() {
+				pass.Reportf(pos, SuppressedPrefix+"%s] "+format, append([]any{rec.Reason}, args...)...)
+			}
 			return
 		}
 	}
 	pass.Reportf(pos, format, args...)
+}
+
+// Allowed reports whether an //lint:allow comment for analyzer name
+// covers pos. Analyzers use it to prune whole declarations (e.g. hotalloc
+// skips a function whose decl carries an allow).
+func Allowed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	t := allowsFor(pass)
+	p := pass.Fset.Position(pos)
+	for _, rec := range t.lines[p.Filename][p.Line] {
+		if rec.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ReportAllowMisuse files a diagnostic for every //lint:allow comment that

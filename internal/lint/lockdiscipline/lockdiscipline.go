@@ -62,11 +62,17 @@ var wrapperNames = map[string]bool{
 // everything reachable from them (same package) runs lock-free off the
 // published snapshot; a read-lock acquisition anywhere in that call graph
 // reintroduces the shared reader-count cache line and writer convoys the
-// refactor removed.
+// refactor removed. Revalidate's lag walk and the degraded-fallback
+// ranking run concurrently with foreground traffic over the same
+// snapshot, so they are held to the same rule: a read lock there would
+// stall every Process call behind the background sweep.
 var hotPathRoots = map[string]bool{
-	"Process":     true,
-	"getPlan":     true,
-	"minCostPlan": true,
+	"Process":         true,
+	"getPlan":         true,
+	"minCostPlan":     true,
+	"Revalidate":      true,
+	"revalidateEntry": true,
+	"rankFallback":    true,
 }
 
 // lockState is the per-mutex abstract state.

@@ -1,0 +1,64 @@
+// Fixture exercising the hot-path read-lock rule for the roots added in
+// the revalidation era: Revalidate's lag walk, revalidateEntry, and the
+// degraded-fallback ranking rankFallback all run concurrently with
+// foreground Process traffic over the published snapshot, so a read-lock
+// acquisition anywhere in their call graphs is flagged the same way.
+package revalpath
+
+import "sync"
+
+type SCR struct {
+	mu    sync.RWMutex
+	insts []int
+}
+
+func (s *SCR) rlock() { s.mu.RLock() }
+
+// Revalidate is a hot root: the lag walk must read the snapshot, not the
+// lock-protected master state.
+func (s *SCR) Revalidate() int {
+	s.mu.RLock() // want `read lock acquired on the Revalidate hot path`
+	n := len(s.insts)
+	s.mu.RUnlock()
+	for _, e := range s.insts {
+		n += s.reanchor(e)
+	}
+	return n
+}
+
+// reanchor is not a root, but Revalidate calls it: flagged transitively,
+// attributed to the Revalidate root.
+func (s *SCR) reanchor(e int) int {
+	s.rlock() // want `read lock acquired on the Revalidate hot path \(in reanchor\)`
+	defer s.mu.RUnlock()
+	return e
+}
+
+// revalidateEntry is itself a root (per-entry worker body); the rlock
+// wait-counting wrapper counts as a read lock.
+func (s *SCR) revalidateEntry(e int) int {
+	s.rlock() // want `read lock acquired on the revalidateEntry hot path`
+	defer s.mu.RUnlock()
+	return e + len(s.insts)
+}
+
+// rankFallback is a root: degraded-mode serving ranks fallback plans while
+// foreground readers are live, so it is lock-free too.
+func (s *SCR) rankFallback(pes []int) int {
+	best := 0
+	for _, pe := range pes {
+		s.mu.RLock() // want `read lock acquired on the rankFallback hot path`
+		if pe > best {
+			best = pe
+		}
+		s.mu.RUnlock()
+	}
+	return best
+}
+
+// report is off every hot-path call graph: read locks are fine here.
+func (s *SCR) report() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.insts)
+}

@@ -1,0 +1,704 @@
+// Package rcupublish machine-checks the copy-on-write RCU publication
+// discipline of the serving cache (internal/core/scr.go, docs/PERF.md):
+//
+//  1. Every mutation of master state — the fields publishLocked rebuilds
+//     the snapshot from — must be post-dominated by a publishLocked()
+//     call: on every path from the mutation to return, readers must gain
+//     visibility of the change. Mutating helpers (addInstance, evictLFU)
+//     are allowed as long as every call to them is itself followed by a
+//     publish; the analyzer propagates this over the same-package call
+//     graph.
+//  2. Published snapshots are immutable. No store may go through a value
+//     reachable from a published snapshot: a snapshot-pointer load, a
+//     parameter of the snapshot type, or the result of a helper that
+//     returns published state (e.g. snapshot()). Mutable side channels
+//     are fields of sync/atomic types, whose updates are method calls,
+//     not stores — those pass.
+//  3. A reader operation loads the snapshot pointer exactly once and
+//     passes it down. Two loads in one operation is a TOCTOU: a writer
+//     may publish between them, and the operation acts on two different
+//     cache states. Loads made on behalf of the writer path (functions
+//     that themselves publish) do not count against their callers.
+//
+// The analyzer is structural, not name-bound: any package type with a
+// publishLocked method and an atomic.Pointer snapshot field is checked,
+// which is what lets the fixture packages model the real SCR.
+package rcupublish
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/lintutil"
+	"repro/internal/lint/ssalite"
+)
+
+const publishName = "publishLocked"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "rcupublish",
+	Doc:      "check the RCU publication discipline: master mutations publish, published snapshots stay immutable, readers load the snapshot once",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	lintutil.ReportAllowMisuse(pass)
+	ssa := pass.ResultOf[ssalite.Analyzer].(*ssalite.SSA)
+	for _, o := range findOwners(pass, ssa) {
+		o.checkPublish()
+		o.checkEscape()
+		o.checkSingleLoad()
+	}
+	return nil, nil
+}
+
+// owner is one RCU-published type: it has a publishLocked method, master
+// fields that method rebuilds from, and (usually) an atomic.Pointer
+// snapshot field.
+type owner struct {
+	pass    *analysis.Pass
+	ssa     *ssalite.SSA
+	typ     *types.Named
+	publish *ssalite.Function
+	// methods are the owner's non-test methods, publish included.
+	methods []*ssalite.Function
+	byName  map[string]*ssalite.Function
+	master  map[*types.Var]bool
+	// snapTypes are the element types of the owner's atomic.Pointer
+	// fields: the published snapshot type(s).
+	snapTypes []types.Type
+}
+
+func findOwners(pass *analysis.Pass, ssa *ssalite.SSA) []*owner {
+	var owners []*owner
+	for _, fn := range ssa.Funcs {
+		if fn.Decl == nil || fn.Name != publishName || fn.Recv == nil || fn.Incomplete {
+			continue
+		}
+		if lintutil.InTestFile(pass, fn.Decl.Pos()) {
+			continue
+		}
+		named := namedOf(fn.Recv.Type())
+		if named == nil || structOf(named) == nil {
+			continue
+		}
+		o := &owner{pass: pass, ssa: ssa, typ: named, publish: fn,
+			byName: map[string]*ssalite.Function{}, master: map[*types.Var]bool{}}
+		for _, m := range ssa.Funcs {
+			if m.Decl == nil || m.Recv == nil || namedOf(m.Recv.Type()) != named {
+				continue
+			}
+			if lintutil.InTestFile(pass, m.Decl.Pos()) {
+				continue
+			}
+			o.methods = append(o.methods, m)
+			o.byName[m.Name] = m
+		}
+		o.findMaster()
+		o.findSnapTypes()
+		owners = append(owners, o)
+	}
+	return owners
+}
+
+// findMaster collects the owner fields publishLocked reads: those are the
+// master state the snapshot is rebuilt from. Fields of sync/atomic types
+// are excluded — the snapshot pointer itself, counters — since they have
+// their own publication semantics.
+func (o *owner) findMaster() {
+	st := structOf(o.typ)
+	o.publish.Instrs(func(in ssalite.Instruction) {
+		fa, ok := in.(*ssalite.FieldAddr)
+		if !ok || fa.Field == nil || !derivesFromRecv(fa.X, o.publish) {
+			return
+		}
+		if !isStructField(st, fa.Field) || isAtomicType(fa.Field.Type()) {
+			return
+		}
+		o.master[fa.Field] = true
+	})
+}
+
+func (o *owner) findSnapTypes() {
+	st := structOf(o.typ)
+	for i := 0; i < st.NumFields(); i++ {
+		if elem := atomicPointerElem(st.Field(i).Type()); elem != nil {
+			o.snapTypes = append(o.snapTypes, elem)
+		}
+	}
+}
+
+// ---- check 1: master mutations are post-dominated by publishLocked ----
+
+type mutation struct {
+	instr ssalite.Instruction
+	desc  string
+	// call marks a bubbled-up call site to a mutating helper.
+	call bool
+}
+
+func (o *owner) checkPublish() {
+	// Publishers: methods that publish on every path from entry to return
+	// (publishLocked itself; manageCache via its deferred publish). A call
+	// to a publisher counts as a publish point.
+	publishers := map[*ssalite.Function]bool{o.publish: true}
+	isPublishPoint := func(in ssalite.Instruction) bool {
+		c, ok := in.(*ssalite.Call)
+		if !ok {
+			return false
+		}
+		if c.CalleeName() == publishName {
+			return true
+		}
+		callee := o.byName[c.CalleeName()]
+		return callee != nil && publishers[callee]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range o.methods {
+			if !publishers[m] && ssalite.MustReachFromEntry(m, isPublishPoint) {
+				publishers[m] = true
+				changed = true
+			}
+		}
+	}
+
+	// Direct mutation points, per function. Function literals are scanned
+	// too: a goroutine or closure mutating master state owes a publish
+	// just like a method body.
+	funcs := o.mutationScanScope()
+	unresolved := map[*ssalite.Function]map[ssalite.Instruction]mutation{}
+	add := func(fn *ssalite.Function, mut mutation) {
+		if !ssalite.MustReach(fn, mut.instr, isPublishPoint) {
+			if unresolved[fn] == nil {
+				unresolved[fn] = map[ssalite.Instruction]mutation{}
+			}
+			unresolved[fn][mut.instr] = mut
+		}
+	}
+	for _, fn := range funcs {
+		fn.Instrs(func(in ssalite.Instruction) {
+			if root := o.mutatedMaster(in, fn); root != "" {
+				add(fn, mutation{instr: in, desc: fmt.Sprintf("%s.%s", o.typ.Obj().Name(), root)})
+			}
+		})
+	}
+
+	// Bubble mutating-helper calls upward: a call to a function with
+	// unresolved mutations is itself a mutation point of the caller.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			fn.Instrs(func(in ssalite.Instruction) {
+				c, ok := in.(*ssalite.Call)
+				if !ok {
+					return
+				}
+				callee := o.byName[c.CalleeName()]
+				if callee == nil || callee == fn || len(unresolved[callee]) == 0 {
+					return
+				}
+				if _, seen := unresolved[fn][in]; seen {
+					return
+				}
+				before := len(unresolved[fn])
+				add(fn, mutation{instr: in, desc: callee.Name, call: true})
+				if len(unresolved[fn]) != before {
+					changed = true
+				}
+			})
+		}
+	}
+
+	// Report: at entry points (exported methods, uncalled functions) the
+	// uncovered mutation surfaces; for called unexported helpers it has
+	// already bubbled into every uncovered caller.
+	callers := o.callerCount(funcs)
+	for _, fn := range funcs {
+		pts := unresolved[fn]
+		if len(pts) == 0 {
+			continue
+		}
+		if !ast.IsExported(fn.Name) && callers[fn] > 0 {
+			continue
+		}
+		ordered := make([]mutation, 0, len(pts))
+		for _, m := range pts {
+			ordered = append(ordered, m)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].instr.Pos() < ordered[j].instr.Pos() })
+		for _, m := range ordered {
+			if m.call {
+				lintutil.Report(o.pass, m.instr.Pos(),
+					"call to %s mutates %s master state without a publishLocked on every following path (readers keep serving the stale snapshot)",
+					m.desc, o.typ.Obj().Name())
+			} else {
+				lintutil.Report(o.pass, m.instr.Pos(),
+					"mutation of master state %s is not followed by publishLocked on every path to return (readers keep serving the stale snapshot)",
+					m.desc)
+			}
+		}
+	}
+}
+
+// mutationScanScope is every non-test function of the package that can
+// mutate this owner's master state: its methods plus function literals.
+func (o *owner) mutationScanScope() []*ssalite.Function {
+	var out []*ssalite.Function
+	for _, fn := range o.ssa.Funcs {
+		if fn == o.publish || fn.Incomplete || len(fn.Blocks) == 0 {
+			continue
+		}
+		pos := funcPos(fn)
+		if pos.IsValid() && lintutil.InTestFile(o.pass, pos) {
+			continue
+		}
+		switch {
+		case fn.Decl != nil && fn.Recv != nil && namedOf(fn.Recv.Type()) == o.typ:
+			out = append(out, fn)
+		case fn.Lit != nil:
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+func (o *owner) callerCount(funcs []*ssalite.Function) map[*ssalite.Function]int {
+	n := map[*ssalite.Function]int{}
+	for _, fn := range funcs {
+		fn.Instrs(func(in ssalite.Instruction) {
+			if c, ok := in.(*ssalite.Call); ok {
+				if callee := o.byName[c.CalleeName()]; callee != nil && callee != fn {
+					n[callee]++
+				}
+			}
+		})
+	}
+	return n
+}
+
+// mutatedMaster reports whether in mutates one of the owner's master
+// fields (directly, through an element, or via map update/delete),
+// returning the rooting field's name ("" when it does not).
+func (o *owner) mutatedMaster(in ssalite.Instruction, fn *ssalite.Function) string {
+	var addr ssalite.Value
+	switch in := in.(type) {
+	case *ssalite.Store:
+		addr = in.Addr
+	case *ssalite.MapUpdate:
+		addr = in.Map
+	case *ssalite.MapDelete:
+		addr = in.Map
+	default:
+		return ""
+	}
+	if f := o.masterRoot(addr, fn, 0); f != nil {
+		return f.Name()
+	}
+	return ""
+}
+
+// masterRoot walks an address (or map value) back to the receiver field
+// it roots in, if that field is master state.
+func (o *owner) masterRoot(v ssalite.Value, fn *ssalite.Function, depth int) *types.Var {
+	if depth > 32 {
+		return nil
+	}
+	switch v := v.(type) {
+	case *ssalite.FieldAddr:
+		if v.Field != nil && o.master[v.Field] && derivesFromRecv(v.X, fn) {
+			return v.Field
+		}
+		return o.masterRoot(v.X, fn, depth+1)
+	case *ssalite.IndexAddr:
+		return o.masterRoot(v.X, fn, depth+1)
+	case *ssalite.Load:
+		return o.masterRoot(v.Addr, fn, depth+1)
+	case *ssalite.Slice:
+		return o.masterRoot(v.X, fn, depth+1)
+	case *ssalite.Append:
+		return o.masterRoot(v.Slice, fn, depth+1)
+	}
+	return nil
+}
+
+// ---- check 2: published snapshots are immutable ----
+
+func (o *owner) checkEscape() {
+	if len(o.snapTypes) == 0 {
+		return
+	}
+
+	// Interprocedural summary: which package functions return a value
+	// derived from published state (snapshot(), snapshotPlans(), ...)?
+	returnsPublished := map[*ssalite.Function]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range o.ssa.Funcs {
+			if returnsPublished[fn] || fn.Incomplete {
+				continue
+			}
+			tainted := o.taint(fn, returnsPublished, false)
+			leak := false
+			fn.Instrs(func(in ssalite.Instruction) {
+				if r, ok := in.(*ssalite.Return); ok {
+					for _, res := range r.Results {
+						if tainted[res] {
+							leak = true
+						}
+					}
+				}
+			})
+			if leak {
+				returnsPublished[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fn := range o.ssa.Funcs {
+		if fn.Incomplete {
+			continue
+		}
+		pos := funcPos(fn)
+		if pos.IsValid() && lintutil.InTestFile(o.pass, pos) {
+			continue
+		}
+		tainted := o.taint(fn, returnsPublished, true)
+		fn.Instrs(func(in ssalite.Instruction) {
+			var addr ssalite.Value
+			switch in := in.(type) {
+			case *ssalite.Store:
+				addr = in.Addr
+			case *ssalite.MapUpdate:
+				if tainted[in.Map] {
+					o.reportEscape(in.Pos())
+				}
+				return
+			case *ssalite.MapDelete:
+				if tainted[in.Map] {
+					o.reportEscape(in.Pos())
+				}
+				return
+			default:
+				return
+			}
+			switch a := addr.(type) {
+			case *ssalite.FieldAddr:
+				if tainted[a.X] || tainted[a] {
+					o.reportEscape(in.Pos())
+				}
+			case *ssalite.IndexAddr:
+				if tainted[a.X] || tainted[a] {
+					o.reportEscape(in.Pos())
+				}
+			case *ssalite.Load: // *p = v
+				if tainted[a] {
+					o.reportEscape(in.Pos())
+				}
+			}
+		})
+	}
+}
+
+func (o *owner) reportEscape(pos token.Pos) {
+	lintutil.Report(o.pass, pos,
+		"store through a published %s snapshot (published state is immutable: copy, rebuild and publishLocked instead)",
+		o.typ.Obj().Name())
+}
+
+// taint runs a flow-insensitive taint pass over fn. Sources: snapshot
+// pointer loads, calls to functions known to return published state, and
+// (when taintParams is set) parameters of the snapshot type.
+func (o *owner) taint(fn *ssalite.Function, returnsPublished map[*ssalite.Function]bool, taintParams bool) map[ssalite.Value]bool {
+	vals := map[ssalite.Value]bool{}
+	cells := map[*ssalite.Cell]bool{}
+	if taintParams {
+		for _, c := range fn.Cells() {
+			if c.IsParam && o.isSnapType(c.Type()) {
+				cells[c] = true
+			}
+		}
+	}
+	isSource := func(v ssalite.Value) bool {
+		c, ok := v.(*ssalite.Call)
+		if !ok {
+			return false
+		}
+		if o.isSnapLoad(c) {
+			return true
+		}
+		if c.Callee != nil {
+			if callee, ok := o.ssa.DeclFunc[c.Callee]; ok && returnsPublished[callee] {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		mark := func(v ssalite.Value) {
+			if v != nil && !vals[v] {
+				vals[v] = true
+				changed = true
+			}
+		}
+		fn.Instrs(func(in ssalite.Instruction) {
+			v, isVal := in.(ssalite.Value)
+			if isVal && !vals[v] && isSource(v) {
+				mark(v)
+			}
+			switch in := in.(type) {
+			case *ssalite.Load:
+				if c, ok := in.Addr.(*ssalite.Cell); ok && cells[c] {
+					mark(in)
+				} else if vals[in.Addr] {
+					mark(in)
+				}
+			case *ssalite.Store:
+				if c, ok := in.Addr.(*ssalite.Cell); ok && vals[in.Val] && !cells[c] {
+					cells[c] = true
+					changed = true
+				}
+			case *ssalite.FieldAddr, *ssalite.IndexAddr, *ssalite.Slice,
+				*ssalite.Extract, *ssalite.RangeElem, *ssalite.Convert,
+				*ssalite.TypeAssert, *ssalite.UnOp, *ssalite.Append:
+				for _, op := range in.Operands() {
+					if op != nil && vals[op] {
+						mark(in.(ssalite.Value))
+					}
+				}
+			}
+		})
+		// Opaque values are not instructions; they appear only as
+		// operands, so propagate through them where referenced.
+		fn.Instrs(func(in ssalite.Instruction) {
+			for _, op := range in.Operands() {
+				if oq, ok := op.(*ssalite.Opaque); ok && !vals[oq] {
+					for _, inner := range oq.Ops {
+						if inner != nil && vals[inner] {
+							mark(oq)
+						}
+					}
+				}
+			}
+		})
+	}
+	return vals
+}
+
+// isSnapLoad reports whether c is a .Load() on an atomic.Pointer holding
+// one of the owner's snapshot types.
+func (o *owner) isSnapLoad(c *ssalite.Call) bool {
+	if c.Method != "Load" || c.Recv == nil {
+		return false
+	}
+	elem := atomicPointerElem(c.Recv.Type())
+	if elem == nil {
+		return false
+	}
+	return o.isSnapType(elem)
+}
+
+func (o *owner) isSnapType(t types.Type) bool {
+	t = stripRefs(t)
+	if t == nil {
+		return false
+	}
+	for _, s := range o.snapTypes {
+		if types.Identical(t, s) || types.Identical(types.NewPointer(s), t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- check 3: the snapshot pointer is loaded once per operation ----
+
+func (o *owner) checkSingleLoad() {
+	if len(o.snapTypes) == 0 {
+		return
+	}
+	// Writer-side functions publish (directly or transitively); their
+	// snapshot loads serve the version bump, not a read decision, and do
+	// not count against callers.
+	writerSide := func(fn *ssalite.Function) bool {
+		if fn == o.publish {
+			return true
+		}
+		found := false
+		fn.Instrs(func(in ssalite.Instruction) {
+			if c, ok := in.(*ssalite.Call); ok && c.CalleeName() == publishName {
+				found = true
+			}
+		})
+		return found
+	}
+
+	type summary struct {
+		total int
+		sites []ssalite.Instruction
+	}
+	memo := map[*ssalite.Function]*summary{}
+	visiting := map[*ssalite.Function]bool{}
+	var analyze func(fn *ssalite.Function) *summary
+	analyze = func(fn *ssalite.Function) *summary {
+		if s, ok := memo[fn]; ok {
+			return s
+		}
+		if visiting[fn] {
+			return &summary{}
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		s := &summary{}
+		fn.Instrs(func(in ssalite.Instruction) {
+			c, ok := in.(*ssalite.Call)
+			if !ok {
+				return
+			}
+			if o.isSnapLoad(c) {
+				s.total++
+				s.sites = append(s.sites, in)
+				return
+			}
+			callee := o.byName[c.CalleeName()]
+			if callee == nil || callee == fn || writerSide(callee) {
+				return
+			}
+			if sub := analyze(callee); sub.total > 0 {
+				s.total += sub.total
+				s.sites = append(s.sites, in)
+			}
+		})
+		memo[fn] = s
+		return s
+	}
+
+	for _, fn := range o.ssa.Funcs {
+		if fn.Incomplete || writerSide(fn) {
+			continue
+		}
+		pos := funcPos(fn)
+		if pos.IsValid() && lintutil.InTestFile(o.pass, pos) {
+			continue
+		}
+		s := analyze(fn)
+		if s.total >= 2 && len(s.sites) >= 2 {
+			lintutil.Report(o.pass, s.sites[1].Pos(),
+				"snapshot pointer loaded %d times in one operation (TOCTOU: a writer may publish between the loads); load it once and pass it down",
+				s.total)
+		}
+	}
+}
+
+// ---- shared helpers ----
+
+func funcPos(fn *ssalite.Function) token.Pos {
+	switch {
+	case fn.Decl != nil:
+		return fn.Decl.Pos()
+	case fn.Lit != nil:
+		return fn.Lit.Pos()
+	}
+	return token.NoPos
+}
+
+func derivesFromRecv(v ssalite.Value, fn *ssalite.Function) bool {
+	if fn.Recv == nil {
+		return false
+	}
+	for depth := 0; v != nil && depth < 32; depth++ {
+		switch vv := v.(type) {
+		case *ssalite.Cell:
+			return vv == fn.Recv
+		case *ssalite.Load:
+			v = vv.Addr
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func structOf(n *types.Named) *types.Struct {
+	if n == nil {
+		return nil
+	}
+	s, _ := n.Underlying().(*types.Struct)
+	return s
+}
+
+func isStructField(st *types.Struct, f *types.Var) bool {
+	if st == nil {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == f {
+			return true
+		}
+	}
+	return false
+}
+
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicPointerElem returns T for sync/atomic.Pointer[T], else nil.
+func atomicPointerElem(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || !isAtomicType(n) || n.Obj().Name() != "Pointer" {
+		return nil
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	return args.At(0)
+}
+
+// stripRefs unwraps pointers, slices and arrays down to the element type.
+func stripRefs(t types.Type) types.Type {
+	for depth := 0; t != nil && depth < 8; depth++ {
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return t
+		}
+	}
+	return t
+}

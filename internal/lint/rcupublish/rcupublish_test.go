@@ -1,0 +1,19 @@
+package rcupublish_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/rcupublish"
+)
+
+func TestRCUPublish(t *testing.T) {
+	linttest.Run(t, rcupublish.Analyzer, "rcu")
+}
+
+// TestSeededRegression proves the analyzer catches the defect class it
+// was built for: a manageCache-shaped method whose deferred publishLocked
+// was removed.
+func TestSeededRegression(t *testing.T) {
+	linttest.Run(t, rcupublish.Analyzer, "rcuseed")
+}

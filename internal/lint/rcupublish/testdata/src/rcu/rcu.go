@@ -1,0 +1,189 @@
+// Package rcu models the SCR's RCU publication discipline for the
+// rcupublish analyzer: master state guarded by a writer mutex, rebuilt
+// into an immutable snapshot by publishLocked and published through an
+// atomic pointer that readers load exactly once per operation.
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type entry struct {
+	key  string
+	cost float64
+}
+
+type snapshot struct {
+	entries []*entry
+	index   map[string]*entry
+	version uint64
+}
+
+type Cache struct {
+	mu      sync.Mutex
+	entries []*entry
+	index   map[string]*entry
+	snap    atomic.Pointer[snapshot]
+}
+
+func New() *Cache {
+	c := &Cache{index: map[string]*entry{}}
+	c.snap.Store(&snapshot{index: map[string]*entry{}})
+	return c
+}
+
+// publishLocked rebuilds the immutable snapshot from the master state.
+// The caller holds mu. The fields read here (entries, index) are what the
+// analyzer learns to treat as master state.
+func (c *Cache) publishLocked() {
+	es := make([]*entry, len(c.entries))
+	copy(es, c.entries)
+	idx := make(map[string]*entry, len(c.index))
+	for k, v := range c.index {
+		idx[k] = v
+	}
+	c.snap.Store(&snapshot{entries: es, index: idx, version: c.snap.Load().version + 1})
+}
+
+// Add mutates and republishes on every path: compliant.
+func (c *Cache) Add(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = append(c.entries, e)
+	c.index[e.key] = e
+	c.publishLocked()
+}
+
+// Evict publishes via a deferred publishLocked: compliant.
+func (c *Cache) Evict(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.publishLocked()
+	delete(c.index, key)
+}
+
+// manage publishes unconditionally through its entry-block defer, which
+// makes it a publisher: a call to it counts as a publish point.
+func (c *Cache) manage() {
+	defer c.publishLocked()
+	if len(c.entries) > cap(c.entries)/2 {
+		c.entries = c.entries[:0]
+	}
+}
+
+// Trim mutates, then publishes through the manage publisher: compliant.
+func (c *Cache) Trim(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = c.entries[:n]
+	c.manage()
+}
+
+// Leak mutates, but the early return path skips the publish.
+func (c *Cache) Leak(e *entry, fast bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = append(c.entries, e) // want `mutation of master state Cache\.entries is not followed by publishLocked`
+	if fast {
+		return
+	}
+	c.publishLocked()
+}
+
+// Drop never publishes after the map delete.
+func (c *Cache) Drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.index, key) // want `mutation of master state Cache\.index is not followed by publishLocked`
+}
+
+// addLocked mutates without publishing; its callers owe the publish, so
+// nothing is reported here.
+func (c *Cache) addLocked(e *entry) {
+	c.entries = append(c.entries, e)
+	c.index[e.key] = e
+}
+
+// Covered pairs the mutating helper with a publish: compliant.
+func (c *Cache) Covered(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(e)
+	c.publishLocked()
+}
+
+// Uncovered calls the mutating helper and forgets the publish; the
+// helper's debt surfaces at this call site.
+func (c *Cache) Uncovered(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(e) // want `call to addLocked mutates Cache master state without a publishLocked`
+}
+
+// Get is the read path: one load, reads only. Compliant.
+func (c *Cache) Get(key string) *entry {
+	return c.snap.Load().index[key]
+}
+
+// MutateSnap writes through the published snapshot: copy-on-write says
+// published state is immutable.
+func (c *Cache) MutateSnap(key string) {
+	s := c.snap.Load()
+	s.version = 0      // want `store through a published Cache snapshot`
+	s.entries[0] = nil // want `store through a published Cache snapshot`
+	s.index[key] = nil // want `store through a published Cache snapshot`
+}
+
+// scrub receives the snapshot type as a parameter; a write through it is
+// still a write into published state.
+func scrub(s *snapshot) {
+	s.version = 0 // want `store through a published Cache snapshot`
+}
+
+// view returns published state, so writes through its result are caught
+// interprocedurally.
+func (c *Cache) view() *snapshot { return c.snap.Load() }
+
+// Indirect reaches the snapshot through the view helper.
+func (c *Cache) Indirect() {
+	s := c.view()
+	s.version = 1 // want `store through a published Cache snapshot`
+}
+
+// Double loads the snapshot pointer twice in one operation: a writer may
+// publish between the loads and the two reads disagree.
+func (c *Cache) Double(key string) bool {
+	n := len(c.snap.Load().entries)
+	_, ok := c.snap.Load().index[key] // want `snapshot pointer loaded 2 times in one operation`
+	return ok && n > 0
+}
+
+// Mixed double-loads transitively: once directly, once through Get.
+func (c *Cache) Mixed(key string) *entry {
+	if c.snap.Load().version == 0 {
+		return nil
+	}
+	return c.Get(key) // want `snapshot pointer loaded 2 times in one operation`
+}
+
+// Probe re-checks the version after the read on purpose: the second load
+// is an intentional second-chance check, recorded as such.
+func (c *Cache) Probe(key string) *entry {
+	s := c.snap.Load()
+	e := s.index[key]
+	if c.snap.Load().version != s.version { //lint:allow rcupublish second-chance version re-check is intentional
+		return nil
+	}
+	return e
+}
+
+// Resort is writer-side: it publishes, so the load inside publishLocked
+// does not count against it.
+func (c *Cache) Resort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishLocked()
+}
+
+var _ = scrub

@@ -1,0 +1,65 @@
+// Package rcuseed seeds a realistic regression for the rcupublish
+// analyzer: a mini-SCR whose manage path lost its deferred publishLocked
+// (exactly the defect class the analyzer exists to catch), so every
+// mutation it performs — directly and through evictLFU — goes unpublished
+// and readers would keep serving the stale snapshot forever.
+package rcuseed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type planEntry struct {
+	fp   string
+	hits int
+}
+
+type snapshot struct {
+	plans map[string]*planEntry
+	order []*planEntry
+}
+
+type SCR struct {
+	mu    sync.Mutex
+	plans map[string]*planEntry
+	order []*planEntry
+	snap  atomic.Pointer[snapshot]
+}
+
+func (s *SCR) publishLocked() {
+	ps := make(map[string]*planEntry, len(s.plans))
+	for k, v := range s.plans {
+		ps[k] = v
+	}
+	os := make([]*planEntry, len(s.order))
+	copy(os, s.order)
+	s.snap.Store(&snapshot{plans: ps, order: os})
+}
+
+// evictLFU mutates master state and has never published itself; with the
+// deferred publish gone from ManageCache no path covers it anymore. The
+// debt is reported at the call site, not here, because this helper is
+// unexported and has callers.
+func (s *SCR) evictLFU() {
+	kept := s.order[:0]
+	for _, e := range s.order {
+		if e.hits > 0 {
+			kept = append(kept, e)
+		} else {
+			delete(s.plans, e.fp)
+		}
+	}
+	s.order = kept
+}
+
+// ManageCache lost its `defer s.publishLocked()` — the seeded bug.
+func (s *SCR) ManageCache(e *planEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plans[e.fp] = e            // want `mutation of master state SCR\.plans is not followed by publishLocked`
+	s.order = append(s.order, e) // want `mutation of master state SCR\.order is not followed by publishLocked`
+	if len(s.order) > 8 {
+		s.evictLFU() // want `call to evictLFU mutates SCR master state without a publishLocked`
+	}
+}

@@ -77,6 +77,9 @@ func metaFor(tpl *query.Template) *tplMeta {
 	return actual.(*tplMeta)
 }
 
+// buildMeta derives the per-template metadata.
+//
+//lint:allow hotalloc built once per template and memoized by metaFor, never per recost
 func buildMeta(tpl *query.Template) *tplMeta {
 	n := len(tpl.Tables)
 	m := &tplMeta{
@@ -196,6 +199,8 @@ func (e *Env) reset(tpl *query.Template, sv []float64, st *stats.Store) error {
 }
 
 // grow returns s resized to n, reusing capacity when possible.
+//
+//lint:allow hotalloc amortized growth, env vectors are pooled and their capacity is reused
 func grow(s []float64, n int) []float64 {
 	if cap(s) >= n {
 		return s[:n]
