@@ -1,0 +1,148 @@
+// Command pqocluster drives multi-node statistics-epoch propagation: it
+// points an epoch coordinator at a fleet of pqo servers and either probes
+// their status, pushes one new generation, or runs the continuous
+// health-probe loop.
+//
+// Usage:
+//
+//	pqocluster -members http://a:8080,http://b:8080 status
+//	pqocluster -members ... advance -seed 42
+//	pqocluster -members ... advance -deltas deltas.json
+//	pqocluster -members ... run
+//
+// The coordinator withholds generation N+1 until every healthy member has
+// acknowledged N (the default skew bound of 1); persistently failing
+// members are quarantined and re-admitted via catch-up replay by the run
+// loop. See docs/ROBUSTNESS.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/pqo"
+)
+
+func main() {
+	fs := flag.NewFlagSet("pqocluster", flag.ExitOnError)
+	members := fs.String("members", "", "comma-separated member base URLs (required)")
+	timeout := fs.Duration("rpc-timeout", 2*time.Second, "per-RPC timeout")
+	retries := fs.Int("retries", 4, "delivery attempts per generation per member")
+	skew := fs.Uint64("skew-bound", 1, "cross-node skew bound in generations")
+	quarantine := fs.Int("quarantine-after", 3, "consecutive failed rounds before quarantine")
+	probeEvery := fs.Duration("probe-interval", 2*time.Second, "run-loop probe cadence")
+	workers := fs.Int("workers", 0, "revalidation workers per member install (0 = member default)")
+	initial := fs.Uint64("initial-epoch", 1, "generation members are assumed to hold at startup")
+	jitterSeed := fs.Int64("jitter-seed", 1, "backoff jitter PRNG seed")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pqocluster -members <url,...> [flags] status|advance|run")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *members == "" || fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Members:             strings.Split(*members, ","),
+		RPCTimeout:          *timeout,
+		RetryLimit:          *retries,
+		SkewBound:           *skew,
+		QuarantineThreshold: *quarantine,
+		ProbeInterval:       *probeEvery,
+		Workers:             *workers,
+		InitialEpoch:        *initial,
+		Seed:                *jitterSeed,
+		Logger:              log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch cmd := fs.Arg(0); cmd {
+	case "status":
+		printStatus(coord.Status(ctx))
+		coord.WriteMetrics(os.Stdout)
+	case "advance":
+		if err := runAdvance(ctx, coord, fs.Args()[1:]); err != nil {
+			fatal(err)
+		}
+	case "run":
+		if err := coord.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown command %q (want status, advance or run)", cmd))
+	}
+}
+
+func runAdvance(ctx context.Context, coord *cluster.Coordinator, args []string) error {
+	fs := flag.NewFlagSet("pqocluster advance", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "resample the statistics with this seed")
+	deltasPath := fs.String("deltas", "", "JSON file with histogram deltas to apply")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var p cluster.Payload
+	switch {
+	case *deltasPath != "" && *seed != 0:
+		return errors.New("advance takes -seed or -deltas, not both")
+	case *deltasPath != "":
+		data, err := os.ReadFile(*deltasPath)
+		if err != nil {
+			return err
+		}
+		var deltas []pqo.HistogramDelta
+		if err := json.Unmarshal(data, &deltas); err != nil {
+			return fmt.Errorf("%s: %w", *deltasPath, err)
+		}
+		p.Deltas = deltas
+	case *seed != 0:
+		p.ResampleSeed = seed
+	default:
+		return errors.New("advance requires -seed or -deltas")
+	}
+	// Sync the coordinator's view of the fleet before the withhold check,
+	// so a fresh pqocluster invocation doesn't refuse generations the
+	// members already hold.
+	coord.Probe(ctx)
+	id, err := coord.Advance(ctx, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assigned epoch %d\n", id)
+	printStatus(coord.Members())
+	return nil
+}
+
+func printStatus(members []cluster.MemberStatus) {
+	fmt.Printf("%-40s %-13s %-6s %-9s %s\n", "member", "state", "epoch", "health", "last error")
+	for _, m := range members {
+		errStr := m.LastErr
+		if len(errStr) > 60 {
+			errStr = errStr[:57] + "..."
+		}
+		fmt.Printf("%-40s %-13s %-6d %-9s %s\n", m.URL, m.State, m.Acked, m.Health, errStr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pqocluster:", err)
+	os.Exit(1)
+}

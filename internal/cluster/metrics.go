@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// ackBuckets is the number of exponential ack-latency buckets: bucket i
+// counts acks with latency ≤ 1ms·2^i, spanning 1ms to ~16s before the
+// overflow bucket — epoch pushes are RPCs plus a member-side install, so
+// millisecond resolution is the interesting range.
+const ackBuckets = 15
+
+// latencyHist is a lock-free exponential-bucket histogram for epoch ack
+// latencies (same shape as the server's request histogram, coarser base).
+type latencyHist struct {
+	counts   [ackBuckets]atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	ms := d.Milliseconds()
+	for i := 0; i < ackBuckets; i++ {
+		if ms <= 1<<i {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.overflow.Add(1)
+}
+
+// WriteMetrics renders the coordinator's fleet metrics in Prometheus text
+// exposition format: the assigned epoch, the worst cross-node skew, push
+// retries, quarantined-member count, per-member acked generations, and the
+// ack-latency histogram.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
+	epoch := c.epoch
+	type row struct {
+		url   string
+		acked uint64
+		state NodeState
+	}
+	rows := make([]row, 0, len(c.order))
+	var quarantined int64
+	var maxSkew uint64
+	for _, url := range c.order {
+		n := c.nodes[url]
+		st := n.state(epoch, c.cfg.SkewBound)
+		rows = append(rows, row{url, n.acked, st})
+		if n.quarantined {
+			quarantined++
+			continue
+		}
+		if skew := epoch - min64(n.acked, epoch); skew > maxSkew {
+			maxSkew = skew
+		}
+	}
+	c.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP pqo_cluster_epoch Highest statistics generation the coordinator has assigned.")
+	fmt.Fprintln(w, "# TYPE pqo_cluster_epoch gauge")
+	fmt.Fprintf(w, "pqo_cluster_epoch %d\n", epoch)
+
+	fmt.Fprintln(w, "# HELP pqo_cluster_epoch_skew Worst generation lag across non-quarantined members.")
+	fmt.Fprintln(w, "# TYPE pqo_cluster_epoch_skew gauge")
+	fmt.Fprintf(w, "pqo_cluster_epoch_skew %d\n", maxSkew)
+
+	fmt.Fprintln(w, "# HELP pqo_cluster_push_retries_total Epoch push delivery retries (attempts after the first).")
+	fmt.Fprintln(w, "# TYPE pqo_cluster_push_retries_total counter")
+	fmt.Fprintf(w, "pqo_cluster_push_retries_total %d\n", c.pushRetries.Load())
+
+	fmt.Fprintln(w, "# HELP pqo_cluster_quarantined_nodes Members currently excluded from the skew quorum.")
+	fmt.Fprintln(w, "# TYPE pqo_cluster_quarantined_nodes gauge")
+	fmt.Fprintf(w, "pqo_cluster_quarantined_nodes %d\n", quarantined)
+
+	fmt.Fprintln(w, "# HELP pqo_cluster_member_epoch Highest generation each member has acknowledged.")
+	fmt.Fprintln(w, "# TYPE pqo_cluster_member_epoch gauge")
+	for _, r := range rows {
+		fmt.Fprintf(w, "pqo_cluster_member_epoch{member=%q,state=%q} %d\n", r.url, r.state, r.acked)
+	}
+
+	fmt.Fprintln(w, "# HELP pqo_cluster_ack_latency_seconds Latency from push attempt to member acknowledgement.")
+	fmt.Fprintln(w, "# TYPE pqo_cluster_ack_latency_seconds histogram")
+	cum := int64(0)
+	for i := 0; i < ackBuckets; i++ {
+		cum += c.ackHist.counts[i].Load()
+		fmt.Fprintf(w, "pqo_cluster_ack_latency_seconds_bucket{le=\"%g\"} %d\n",
+			float64(int64(1)<<i)/1e3, cum)
+	}
+	cum += c.ackHist.overflow.Load()
+	fmt.Fprintf(w, "pqo_cluster_ack_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pqo_cluster_ack_latency_seconds_sum %g\n", float64(c.ackHist.sumNanos.Load())/1e9)
+	fmt.Fprintf(w, "pqo_cluster_ack_latency_seconds_count %d\n", c.ackHist.count.Load())
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,437 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Advance assigns the next statistics generation and pushes it to every
+// non-quarantined member in parallel. Before assigning, it enforces the
+// skew bound: every non-quarantined member must have acknowledged
+// generation next−SkewBound (with the default bound of 1, that is the
+// current generation — adjacent generations only). If a member is still
+// behind after a full push round, Advance returns ErrWithheld without
+// assigning; retry once the member catches up or quarantines out of the
+// quorum.
+//
+// Push failures after assignment do not fail Advance — they are recorded
+// per member (and eventually quarantine it); the next Advance's withhold
+// check is what stops the fleet from running away from a struggling node.
+func (c *Coordinator) Advance(ctx context.Context, p Payload) (uint64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if err := c.converge(ctx); err != nil {
+		return 0, err
+	}
+
+	id, targets := c.assign(p)
+	c.logf("cluster: assigned epoch %d, pushing to %d member(s)", id, len(targets))
+
+	c.pushAll(ctx, targets, id)
+	return id, nil
+}
+
+// assign records p as the next generation and snapshots the push targets.
+func (c *Coordinator) assign(p Payload) (uint64, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	id := c.epoch
+	c.history[id] = p
+	return id, c.pushTargetsLocked()
+}
+
+// converge brings every non-quarantined member up to the skew floor for
+// the next generation, or reports ErrWithheld.
+func (c *Coordinator) converge(ctx context.Context) error {
+	floor, target, behind := c.skewFloor(nil)
+	if len(behind) == 0 {
+		return nil
+	}
+
+	// One catch-up round outside the lock; failures count toward
+	// quarantine, which itself unblocks the quorum.
+	c.pushAll(ctx, behind, target)
+
+	if _, _, still := c.skewFloor(behind); len(still) > 0 {
+		return fmt.Errorf("%w: %s behind generation %d",
+			ErrWithheld, strings.Join(still, ", "), floor)
+	}
+	return nil
+}
+
+// skewFloor computes the acknowledgment floor the next generation
+// requires and the members (restricted to urls when non-nil, the whole
+// fleet otherwise) that are non-quarantined yet still below it.
+func (c *Coordinator) skewFloor(urls []string) (floor, target uint64, behind []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if next := c.epoch + 1; next > c.cfg.SkewBound {
+		floor = next - c.cfg.SkewBound
+	}
+	if urls == nil {
+		urls = c.order
+	}
+	for _, url := range urls {
+		n := c.nodes[url]
+		if !n.quarantined && n.acked < floor {
+			behind = append(behind, url)
+		}
+	}
+	return floor, c.epoch, behind
+}
+
+// pushTargetsLocked returns the members that should receive pushes.
+// Caller holds c.mu.
+func (c *Coordinator) pushTargetsLocked() []string {
+	out := make([]string, 0, len(c.order))
+	for _, url := range c.order {
+		if !c.nodes[url].quarantined {
+			out = append(out, url)
+		}
+	}
+	return out
+}
+
+// pushAll replays every member in targets up to generation target,
+// in parallel, and waits for all of them.
+func (c *Coordinator) pushAll(ctx context.Context, targets []string, target uint64) {
+	var wg sync.WaitGroup
+	for _, url := range targets {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			if err := c.pushNode(ctx, url, target); err != nil && ctx.Err() == nil {
+				c.logf("cluster: push to %s failed: %v", url, err)
+			}
+		}(url)
+	}
+	wg.Wait()
+}
+
+// pushNode replays, in order, every generation the member is missing up to
+// target. Deliveries retry inside pushGeneration; an ErrEpochGap response
+// resynchronizes the loop from the epoch the member reported (our record
+// of it can be stale — it may have restarted from a snapshot, or a prior
+// ack may have been lost). Never called with c.mu held.
+func (c *Coordinator) pushNode(ctx context.Context, url string, target uint64) error {
+	if !c.beginPush(url) {
+		// Another push to this member is in flight (e.g. a probe-driven
+		// catch-up racing an Advance); it will deliver the same prefix.
+		return nil
+	}
+	defer c.endPush(url)
+
+	gen := c.ackedEpoch(url) + 1
+	resyncs := 0
+	for gen <= target {
+		p, ok := c.payload(gen)
+		if !ok {
+			err := fmt.Errorf("cluster: no recorded payload for generation %d (coordinator restarted?)", gen)
+			c.recordFailure(url, err)
+			return err
+		}
+		nodeEp, err := c.pushGeneration(ctx, url, gen, p)
+		switch {
+		case err == nil:
+			if nodeEp < gen {
+				// A 200 with an older epoch violates the member's
+				// monotonicity contract; bail rather than spin.
+				err = fmt.Errorf("cluster: member %s acked epoch %d below pushed %d", url, nodeEp, gen)
+				c.recordFailure(url, err)
+				return err
+			}
+			c.recordAck(url, nodeEp)
+			gen = nodeEp + 1
+		case errors.Is(err, errEpochGap):
+			resyncs++
+			if resyncs > 2 || nodeEp+1 >= gen {
+				// The gap doesn't close by restarting earlier: give up
+				// this round.
+				c.recordFailure(url, err)
+				return err
+			}
+			c.recordAck(url, nodeEp)
+			gen = nodeEp + 1
+		default:
+			c.recordFailure(url, err)
+			return err
+		}
+	}
+	return nil
+}
+
+// pushGeneration delivers one generation to one member with retry and
+// jittered exponential backoff. On success it returns the member's
+// installed epoch (>= id); on an epoch-gap refusal it returns the member's
+// reported epoch wrapped in errEpochGap.
+func (c *Coordinator) pushGeneration(ctx context.Context, url string, id uint64, p Payload) (uint64, error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.RetryLimit; attempt++ {
+		if attempt > 1 {
+			c.pushRetries.Add(1)
+			if err := sleepCtx(ctx, c.backoff(attempt-1)); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		nodeEp, err := c.rpcPushEpoch(ctx, url, id, p)
+		if err == nil {
+			c.ackHist.observe(time.Since(start))
+			return nodeEp, nil
+		}
+		if errors.Is(err, errEpochGap) {
+			// Not a transport failure — the member answered. Let the
+			// caller resynchronize instead of burning retries.
+			return nodeEp, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+	}
+	return 0, fmt.Errorf("cluster: epoch %d to %s failed after %d attempts: %w",
+		id, url, c.cfg.RetryLimit, lastErr)
+}
+
+// Probe checks every member's /v1/healthz in parallel, records
+// reachability and reported epochs, and starts catch-up replays for
+// reachable members that are behind — including quarantined ones, which is
+// how they rejoin. It returns the post-probe member view.
+func (c *Coordinator) Probe(ctx context.Context) []MemberStatus {
+	c.mu.Lock()
+	targets := make([]string, len(c.order))
+	copy(targets, c.order)
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, url := range targets {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			c.probeNode(ctx, url)
+		}(url)
+	}
+	wg.Wait()
+	return c.Members()
+}
+
+// probeNode probes one member and, when it is reachable but behind,
+// replays its missed generations.
+func (c *Coordinator) probeNode(ctx context.Context, url string) {
+	h, err := c.rpcHealthz(ctx, url)
+	if err != nil {
+		c.recordFailure(url, fmt.Errorf("probe: %w", err))
+		return
+	}
+
+	c.mu.Lock()
+	n := c.nodes[url]
+	n.health = h.Status
+	if h.Epoch > n.acked {
+		n.acked = h.Epoch
+	}
+	if h.Epoch > c.epoch {
+		// The member is ahead of us — this coordinator restarted with a
+		// stale InitialEpoch. Adopt the fleet's generation; the history
+		// before it is unknown, but nothing below it needs replaying.
+		c.logf("cluster: adopting epoch %d reported by %s (was %d)", h.Epoch, url, c.epoch)
+		c.epoch = h.Epoch
+	}
+	behind := n.acked < c.epoch
+	quarantined := n.quarantined
+	target := c.epoch
+	if !behind && !quarantined {
+		// A responsive, caught-up member is healthy regardless of past
+		// failures.
+		n.failures = 0
+		n.lastErr = ""
+	}
+	c.mu.Unlock()
+
+	if behind || quarantined {
+		// Reachable but behind: catch up. For a quarantined member this
+		// is the re-admission path — a completed replay walks it
+		// rejoining → healthy in recordAck.
+		if err := c.pushNode(ctx, url, target); err != nil && ctx.Err() == nil {
+			c.logf("cluster: catch-up for %s failed: %v", url, err)
+		}
+	}
+}
+
+// Status probes the fleet and additionally rolls up each member's
+// /v1/admin/epochs revalidation progress for its current generation.
+func (c *Coordinator) Status(ctx context.Context) []MemberStatus {
+	members := c.Probe(ctx)
+	var wg sync.WaitGroup
+	for i := range members {
+		if members[i].Health == "" {
+			continue // unreachable this round; nothing to roll up
+		}
+		wg.Add(1)
+		go func(m *MemberStatus) {
+			defer wg.Done()
+			st, err := c.rpcClusterStatus(ctx, m.URL)
+			if err == nil {
+				m.ReportedEpoch = st.Epoch
+				m.ReportedClusterView = st.ClusterEpoch
+				m.LaggingInstances = st.LaggingInstances
+			}
+			epochs, err := c.rpcAdminEpochs(ctx, m.URL)
+			if err != nil {
+				return
+			}
+			for _, rec := range epochs {
+				if rec.Current && len(rec.Revalidation) > 0 {
+					m.Revalidation = rec.Revalidation
+				}
+			}
+		}(&members[i])
+	}
+	wg.Wait()
+	return members
+}
+
+// RPC helpers. Each issues exactly one HTTP request bounded by
+// Config.RPCTimeout, stamps it with the coordinator's cluster epoch, and
+// is never called with c.mu held (lockdiscipline enforces this by name).
+
+// rpcPushEpoch POSTs one generation to a member's /v1/cluster/epoch and
+// returns the member's resulting epoch. A 409 ErrEpochGap refusal returns
+// the member's reported epoch wrapped in errEpochGap.
+func (c *Coordinator) rpcPushEpoch(ctx context.Context, base string, id uint64, p Payload) (uint64, error) {
+	body, err := json.Marshal(server.ClusterEpochRequest{
+		Epoch: id, Deltas: p.Deltas, ResampleSeed: p.ResampleSeed, Workers: c.cfg.Workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost,
+		base+server.APIVersion+"/cluster/epoch", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.stampClusterEpoch(req)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer closeBody(resp)
+	nodeEp := headerEpoch(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out server.ClusterEpochResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+			return 0, fmt.Errorf("cluster: decoding push response from %s: %w", base, err)
+		}
+		return out.Epoch, nil
+	case http.StatusConflict:
+		e := decodeErrorEnvelope(resp.Body)
+		if e.Sentinel == "ErrEpochGap" {
+			return nodeEp, fmt.Errorf("%w: %s", errEpochGap, e.Error)
+		}
+		return nodeEp, fmt.Errorf("cluster: %s refused epoch %d: %s (%s)", base, id, e.Error, e.Sentinel)
+	default:
+		e := decodeErrorEnvelope(resp.Body)
+		return nodeEp, fmt.Errorf("cluster: pushing epoch %d to %s: HTTP %d %s",
+			id, base, resp.StatusCode, e.Error)
+	}
+}
+
+// rpcHealthz GETs a member's /v1/healthz.
+func (c *Coordinator) rpcHealthz(ctx context.Context, base string) (server.HealthStatus, error) {
+	var h server.HealthStatus
+	err := c.rpcGetJSON(ctx, base, server.APIVersion+"/healthz", &h)
+	return h, err
+}
+
+// rpcClusterStatus GETs a member's /v1/cluster/status.
+func (c *Coordinator) rpcClusterStatus(ctx context.Context, base string) (server.ClusterStatusResponse, error) {
+	var st server.ClusterStatusResponse
+	err := c.rpcGetJSON(ctx, base, server.APIVersion+"/cluster/status", &st)
+	return st, err
+}
+
+// rpcAdminEpochs GETs a member's /v1/admin/epochs log.
+func (c *Coordinator) rpcAdminEpochs(ctx context.Context, base string) ([]server.EpochInfo, error) {
+	var out []server.EpochInfo
+	err := c.rpcGetJSON(ctx, base, server.APIVersion+"/admin/epochs", &out)
+	return out, err
+}
+
+// rpcGetJSON performs one bounded GET and decodes a 200 JSON body.
+func (c *Coordinator) rpcGetJSON(ctx context.Context, base, path string, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	c.stampClusterEpoch(req)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer closeBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		e := decodeErrorEnvelope(resp.Body)
+		return fmt.Errorf("cluster: GET %s%s: HTTP %d %s", base, path, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+}
+
+// stampClusterEpoch attaches the Pqo-Cluster-Epoch header so every RPC —
+// even a probe of a partitioned-but-reachable member — disseminates the
+// fleet's current generation.
+func (c *Coordinator) stampClusterEpoch(req *http.Request) {
+	req.Header.Set(server.ClusterEpochHeader, strconv.FormatUint(c.Epoch(), 10))
+}
+
+// headerEpoch parses the member's Pqo-Node-Epoch response header (0 when
+// absent or malformed).
+func headerEpoch(resp *http.Response) uint64 {
+	v := resp.Header.Get(server.NodeEpochHeader)
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// errorEnvelope mirrors the server's uniform error body.
+type errorEnvelope struct {
+	Error    string `json:"error"`
+	Sentinel string `json:"sentinel"`
+}
+
+func decodeErrorEnvelope(r io.Reader) errorEnvelope {
+	var e errorEnvelope
+	if err := json.NewDecoder(io.LimitReader(r, 1<<16)).Decode(&e); err != nil || e.Error == "" {
+		e.Error = "(unparseable error body)"
+	}
+	return e
+}
+
+// closeBody drains and closes so the transport can reuse the connection.
+func closeBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}

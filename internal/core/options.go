@@ -199,6 +199,21 @@ func WithCircuitBreaker(failures int, cooldown time.Duration) Option {
 	}
 }
 
+// WithClusterSkewBound sets how many statistics generations n ≥ 1 the node
+// may lag the observed cluster epoch (ObserveClusterEpoch) before Process
+// flags every decision as ViaFallback/"epoch-skew". Without this option the
+// bound is 1: adjacent generations only, matching the epoch coordinator's
+// default withhold rule (docs/ROBUSTNESS.md).
+func WithClusterSkewBound(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return optErr("cluster skew bound %d must be >= 1", n)
+		}
+		c.SkewBound = n
+		return nil
+	}
+}
+
 // WithViolationDetection enables Appendix G's BCG-violation quarantine
 // with the given relative tolerance in (0, 1).
 func WithViolationDetection(tolerance float64) Option {

@@ -1,8 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/engine"
@@ -138,6 +144,102 @@ func (s *SCR) Import(data []byte) error {
 	}
 	s.publishLocked()
 	return nil
+}
+
+// Snapshot file framing. A node killed mid-persist must always be able to
+// rejoin the cluster from its last good snapshot, so snapshot files are
+// written via temp file + fsync + atomic rename and framed so partial or
+// torn contents are detected on read instead of half-imported:
+//
+//	offset 0  magic "PQOSNAP1" (8 bytes)
+//	offset 8  big-endian uint32 IEEE CRC of the payload
+//	offset 12 big-endian uint64 payload length
+//	offset 20 payload (Export JSON)
+var snapshotMagic = []byte("PQOSNAP1")
+
+const snapshotHeaderLen = len("PQOSNAP1") + 4 + 8
+
+// ErrSnapshotCorrupt reports that a snapshot file exists but its framing
+// is damaged — truncated payload, checksum mismatch, or an impossible
+// length. Callers must treat the snapshot as absent rather than import a
+// torn write.
+var ErrSnapshotCorrupt = errors.New("pqo: snapshot file corrupt or truncated")
+
+// WriteSnapshotFile persists an Export-produced snapshot crash-safely: the
+// framed payload is written to a temp file in the same directory, fsynced,
+// atomically renamed over path, and the directory entry is fsynced too. A
+// crash at any point leaves either the previous snapshot or the new one at
+// path, never a mix; abandoned temp files are ignorable garbage.
+func WriteSnapshotFile(path string, data []byte) (err error) {
+	var buf bytes.Buffer
+	buf.Grow(snapshotHeaderLen + len(data))
+	buf.Write(snapshotMagic)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[:4], crc32.ChecksumIEEE(data))
+	binary.BigEndian.PutUint64(hdr[4:], uint64(len(data)))
+	buf.Write(hdr[:])
+	buf.Write(data)
+
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: snapshot temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("core: snapshot write: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("core: snapshot fsync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("core: snapshot close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: snapshot rename: %w", err)
+	}
+	// Persist the rename itself. Directory fsync is best-effort where the
+	// platform disallows opening directories; the rename is already atomic
+	// with respect to readers either way.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads a snapshot written by WriteSnapshotFile and
+// returns its payload after verifying length and checksum; damaged framing
+// yields an error wrapping ErrSnapshotCorrupt. Files that predate the
+// framing (raw Export JSON, no magic) are returned as-is for backward
+// compatibility — they carry no integrity protection.
+func ReadSnapshotFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(raw, snapshotMagic) {
+		return raw, nil // legacy unframed snapshot
+	}
+	if len(raw) < snapshotHeaderLen {
+		return nil, fmt.Errorf("%w: %s: %d-byte header truncated", ErrSnapshotCorrupt, path, len(raw))
+	}
+	sum := binary.BigEndian.Uint32(raw[len(snapshotMagic):])
+	n := binary.BigEndian.Uint64(raw[len(snapshotMagic)+4:])
+	payload := raw[snapshotHeaderLen:]
+	if n != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d", ErrSnapshotCorrupt, path, len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: %s: checksum %08x, header says %08x", ErrSnapshotCorrupt, path, got, sum)
+	}
+	return payload, nil
 }
 
 // SnapshotSummary describes an exported plan cache without rehydrating it.

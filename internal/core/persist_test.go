@@ -1,8 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -260,4 +264,113 @@ func TestInspectSnapshot(t *testing.T) {
 	if _, err := InspectSnapshot([]byte(`{"plans":[],"instances":[{"v":[0.1],"planFP":"x","c":1,"s":1,"u":1}]}`)); err == nil {
 		t.Error("dangling plan reference should fail")
 	}
+}
+
+// TestSnapshotFileCrashSafety pins the crash-safety contract of
+// WriteSnapshotFile/ReadSnapshotFile: the framed file round-trips, every
+// torn or bit-flipped variant is rejected with ErrSnapshotCorrupt instead
+// of being half-imported, an interrupted rewrite leaves the previous
+// snapshot readable, and pre-framing files still pass through.
+func TestSnapshotFileCrashSafety(t *testing.T) {
+	payload := []byte(`{"plans":[],"instances":[]}`)
+	newer := []byte(`{"plans":[],"instances":[],"note":"newer generation"}`)
+
+	t.Run("roundtrip", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "snap.json")
+		if err := WriteSnapshotFile(path, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip = %q, want %q", got, payload)
+		}
+	})
+
+	t.Run("truncation-detected", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "snap.json")
+		if err := WriteSnapshotFile(path, payload); err != nil {
+			t.Fatal(err)
+		}
+		framed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every proper prefix of the framed file is a possible torn write;
+		// all of them must be flagged, none silently imported.
+		for _, cut := range []int{len(snapshotMagic) + 2, snapshotHeaderLen, len(framed) - 1} {
+			if err := os.WriteFile(path, framed[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadSnapshotFile(path); !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Errorf("truncated at %d bytes: err = %v, want ErrSnapshotCorrupt", cut, err)
+			}
+		}
+	})
+
+	t.Run("bitflip-detected", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "snap.json")
+		if err := WriteSnapshotFile(path, payload); err != nil {
+			t.Fatal(err)
+		}
+		framed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		framed[snapshotHeaderLen+3] ^= 0x40
+		if err := os.WriteFile(path, framed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSnapshotFile(path); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("bit-flipped payload: err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+
+	t.Run("kill-mid-rewrite-keeps-old", func(t *testing.T) {
+		// A crash between temp-file write and rename leaves the abandoned
+		// temp alongside an intact previous snapshot.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "snap.json")
+		if err := WriteSnapshotFile(path, payload); err != nil {
+			t.Fatal(err)
+		}
+		tmp, err := os.CreateTemp(dir, "snap.json.tmp*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tmp.Write(append(append([]byte{}, snapshotMagic...), newer[:10]...)); err != nil {
+			t.Fatal(err)
+		}
+		tmp.Close() // crash here: rename never happens
+		got, err := ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("old snapshot damaged by interrupted rewrite: %q", got)
+		}
+		// Recovery: the next successful write supersedes cleanly.
+		if err := WriteSnapshotFile(path, newer); err != nil {
+			t.Fatal(err)
+		}
+		if got, err = ReadSnapshotFile(path); err != nil || !bytes.Equal(got, newer) {
+			t.Fatalf("rewrite after crash = %q, %v, want %q", got, err, newer)
+		}
+	})
+
+	t.Run("legacy-unframed-passthrough", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "snap.json")
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("legacy passthrough = %q, want %q", got, payload)
+		}
+	})
 }

@@ -79,6 +79,14 @@ type Config struct {
 	// half-open probe decides whether to close again.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// SkewBound is the cross-node statistics-generation skew the node
+	// tolerates before flagging its decisions: when the observed cluster
+	// epoch (ObserveClusterEpoch) exceeds the node's own epoch by more
+	// than this many generations, every decision is served degraded with
+	// DegradedEpochSkew. Zero selects the default of 1 — adjacent
+	// generations only, matching the coordinator's default withhold rule.
+	SkewBound int
 }
 
 // DynamicLambda maps an instance's optimal cost to a λ in [Min, Max] via an
@@ -157,7 +165,18 @@ func (c0 *Config) validate() error {
 	if c0.BreakerThreshold > 0 && c0.BreakerCooldown <= 0 {
 		return optErr("breaker cooldown %v must be > 0", c0.BreakerCooldown)
 	}
+	if c0.SkewBound < 0 {
+		return optErr("cluster skew bound %d must be >= 0", c0.SkewBound)
+	}
 	return nil
+}
+
+// skewBound is the effective cross-node skew tolerance (generations).
+func (c0 *Config) skewBound() uint64 {
+	if c0.SkewBound > 0 {
+		return uint64(c0.SkewBound)
+	}
+	return 1
 }
 
 // planEntry is one plan in the plan cache's plan list.
@@ -233,6 +252,7 @@ type counters struct {
 	// revalidated, entries demoted in place, entries/plans dropped, and
 	// revalidation attempts that errored.
 	epochLagServed atomic.Int64
+	skewFlagged    atomic.Int64
 	revalidated    atomic.Int64
 	revalDemoted   atomic.Int64
 	revalDroppedI  atomic.Int64
@@ -310,6 +330,13 @@ type SCR struct {
 	// lock-free by Stats.
 	maxPlans atomic.Int64
 
+	// clusterEpoch is the highest cluster-wide statistics generation the
+	// node has observed via ObserveClusterEpoch (zero until a coordinator
+	// speaks). When it runs ahead of the engine's own epoch by more than
+	// cfg.skewBound() generations, Process flags every decision with
+	// DegradedEpochSkew instead of silently serving across the bound.
+	clusterEpoch atomic.Uint64
+
 	flight  flightGroup
 	lookups atomic.Int64
 	ctr     counters
@@ -341,6 +368,77 @@ func (s *SCR) statsEpoch() uint64 {
 		return s.epochEng.StatsEpoch()
 	}
 	return 0
+}
+
+// ObserveClusterEpoch records that the cluster-wide statistics generation
+// has reached at least id. The observation is monotonic (stale or
+// duplicate deliveries are ignored) and lock-free, so transport layers may
+// call it on every RPC. Once the observed cluster epoch runs ahead of the
+// node's own statistics epoch by more than the configured skew bound,
+// Process serves every decision flagged DegradedEpochSkew until the node
+// catches up (docs/ROBUSTNESS.md).
+func (s *SCR) ObserveClusterEpoch(id uint64) {
+	for {
+		cur := s.clusterEpoch.Load()
+		if id <= cur || s.clusterEpoch.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// ClusterEpoch returns the highest cluster generation observed, zero if no
+// coordinator has spoken.
+func (s *SCR) ClusterEpoch() uint64 {
+	return s.clusterEpoch.Load()
+}
+
+// CurrentStatsEpoch returns the engine's current statistics epoch id (0
+// for epoch-less engines): the node-local generation, cheap enough for
+// per-request use.
+func (s *SCR) CurrentStatsEpoch() uint64 {
+	return s.statsEpoch()
+}
+
+// EpochSkew returns how many generations the node's own statistics epoch
+// lags the observed cluster epoch (0 when caught up, ahead, or epoch-less).
+func (s *SCR) EpochSkew() uint64 {
+	if s.epochEng == nil {
+		return 0
+	}
+	cluster := s.clusterEpoch.Load()
+	if local := s.statsEpoch(); cluster > local {
+		return cluster - local
+	}
+	return 0
+}
+
+// SkewLagging reports whether the node is behind the observed cluster
+// epoch by more than the configured skew bound (WithClusterSkewBound,
+// default 1) — the condition under which Process flags every decision
+// DegradedEpochSkew and health surfaces should report the node degraded.
+func (s *SCR) SkewLagging() bool {
+	return s.EpochSkew() > s.cfg.skewBound()
+}
+
+// flagSkew demotes a healthy decision to an explicitly flagged one when
+// the node knows it is behind the cluster skew bound. The plan and its
+// epoch are untouched — the λ bound still holds against the generation
+// Decision.Epoch names — but Via/Degraded say the node should not be
+// trusted to be within one generation of its peers. Already-degraded
+// decisions keep their original (more specific) reason.
+//
+//lint:allow hotalloc one Decision copy, only on the rare skew-lagging path
+func (s *SCR) flagSkew(dec *Decision) *Decision {
+	if dec == nil || dec.Degraded || !s.SkewLagging() {
+		return dec
+	}
+	d := *dec
+	d.Via = ViaFallback
+	d.Degraded = true
+	d.DegradedReason = DegradedEpochSkew
+	s.ctr.skewFlagged.Add(1)
+	s.ctr.degraded.Add(1)
+	return &d
 }
 
 // Name identifies the technique and its λ, e.g. "SCR(2)".
@@ -375,6 +473,11 @@ func (s *SCR) Stats() Stats {
 	st.DegradedDecisions = s.ctr.degraded.Load()
 	st.ReadPathErrors = s.ctr.readPathErrors.Load()
 	st.StatsEpoch = s.statsEpoch()
+	st.ClusterEpoch = s.clusterEpoch.Load()
+	if st.ClusterEpoch > st.StatsEpoch && s.epochEng != nil {
+		st.EpochSkew = st.ClusterEpoch - st.StatsEpoch
+	}
+	st.EpochSkewFlagged = s.ctr.skewFlagged.Load()
 	st.EpochLagFallbacks = s.ctr.epochLagServed.Load()
 	st.RevalidatedPlans = s.ctr.revalidated.Load()
 	st.RevalDemoted = s.ctr.revalDemoted.Load()
@@ -524,7 +627,7 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 		return nil, err
 	case dec0 != nil:
 		s.ctr.readPathHits.Add(1)
-		return dec0, nil
+		return s.flagSkew(dec0), nil
 	}
 
 	// Both checks failed: full optimizer call, deduplicated across
@@ -579,9 +682,9 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 		d := *dec2
 		d.Optimized = false
 		d.Shared = true
-		return &d, nil
+		return s.flagSkew(&d), nil
 	}
-	return dec2, nil
+	return s.flagSkew(dec2), nil
 }
 
 // storePlan records a freshly optimized (plan, instance) pair under the

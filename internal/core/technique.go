@@ -110,6 +110,14 @@ const (
 	// lagging candidate is served flagged; the background revalidator
 	// retires the lag.
 	DegradedStatsEpochLag DegradedReason = "stats-epoch-lag"
+	// DegradedEpochSkew: the node knows (via ObserveClusterEpoch) that the
+	// cluster-wide statistics generation is more than the configured skew
+	// bound ahead of its own installed epoch — e.g. it missed a
+	// coordinator push during a partition. Decisions are still λ-valid
+	// against the node's own generation (Decision.Epoch says which), but
+	// they are flagged so callers never silently mix answers from
+	// generations further apart than the bound (docs/ROBUSTNESS.md).
+	DegradedEpochSkew DegradedReason = "epoch-skew"
 )
 
 // Stats are cumulative counters a technique reports. Counter semantics
@@ -200,6 +208,15 @@ type Stats struct {
 	RevalDroppedPlans     int64
 	RevalFailed           int64
 	EpochLagFallbacks     int64
+	// ClusterEpoch is the highest cluster-wide statistics generation the
+	// node has observed (ObserveClusterEpoch); zero when the node has
+	// never heard from a coordinator. EpochSkew is how many generations
+	// the node's own StatsEpoch lags it (0 when caught up or ahead), and
+	// EpochSkewFlagged counts decisions served flagged because that skew
+	// exceeded the configured bound.
+	ClusterEpoch     uint64
+	EpochSkew        uint64
+	EpochSkewFlagged int64
 }
 
 // Technique is an online PQO technique processing a stream of query

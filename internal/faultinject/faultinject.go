@@ -36,10 +36,15 @@ const (
 	SiteRecost Site = "recost"
 	// SitePrepare fires on BatchEngine.PrepareRecost.
 	SitePrepare Site = "prepare-recost"
+	// SiteTransport fires once per HTTP request routed through a
+	// Transport wrapper (transport.go) — the cluster propagation path's
+	// injection point for drops, delays, duplicate deliveries and
+	// synthetic server errors.
+	SiteTransport Site = "transport"
 )
 
 // Sites lists every injection point, in a fixed order (for reports).
-var Sites = []Site{SiteOptimize, SiteRecost, SitePrepare}
+var Sites = []Site{SiteOptimize, SiteRecost, SitePrepare, SiteTransport}
 
 // Fault describes what happens when an injection fires. Latency is applied
 // first, then Panic, then Err, so a single Point can model a slow failure.
@@ -51,8 +56,27 @@ type Fault struct {
 	// returning — modeling an optimizer crash bug.
 	Panic bool
 	// Err, when non-nil, is returned without invoking the underlying
-	// engine — modeling an engine fault.
+	// engine — modeling an engine fault. At SiteTransport it is returned
+	// without delivering the request, modeling a refused connection.
 	Err error
+
+	// The remaining behaviors apply only at SiteTransport (transport.go);
+	// engine sites ignore them. Order after Latency: Drop, Err, Status,
+	// then — post-delivery — DropResponse, Duplicate.
+	//
+	// Drop suppresses delivery entirely (a blackholed packet): the server
+	// never sees the request and the caller gets a transport error.
+	Drop bool
+	// DropResponse delivers the request but loses the response — the
+	// server-side effect happens, the caller still sees a transport
+	// error. This is the case that forces idempotent install handlers.
+	DropResponse bool
+	// Duplicate delivers the request twice (a retransmit) and returns the
+	// second response, exercising duplicate-delivery tolerance.
+	Duplicate bool
+	// Status, when non-zero, short-circuits with a synthetic HTTP
+	// response of that status code (e.g. 500) without delivering.
+	Status int
 }
 
 // Point configures injection at one site.

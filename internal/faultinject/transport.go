@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrDropped is the transport error surfaced when an injected fault
+// suppresses a request (Fault.Drop) or loses its response
+// (Fault.DropResponse). Callers cannot distinguish the two — exactly like
+// a real network, where a timeout never says whether the server did the
+// work — which is what makes DropResponse the probe for idempotency.
+var ErrDropped = errors.New("faultinject: request dropped by injected transport fault")
+
+// Transport is an http.RoundTripper that interposes an Injector's
+// SiteTransport point on every request: per RPC it can delay delivery,
+// blackhole the request, lose the response after delivery, deliver twice,
+// fail like a refused connection, or answer with a synthetic HTTP status —
+// all from the injector's seeded PRNG or an explicit Sequence, so a
+// failing cluster chaos run reproduces from its seed alone.
+//
+// A nil Injector (or a disabled one) makes the wrapper transparent.
+type Transport struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+// NewTransport wraps inner (nil selects http.DefaultTransport) with inj
+// interposed at SiteTransport.
+func NewTransport(inner http.RoundTripper, inj *Injector) *Transport {
+	return &Transport{inner: inner, inj: inj}
+}
+
+// Injector returns the wrapped injector (nil for a transparent wrapper).
+func (t *Transport) Injector() *Injector { return t.inj }
+
+func (t *Transport) transport() http.RoundTripper {
+	if t.inner != nil {
+		return t.inner
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper. Fault application order:
+// Latency (context-aware sleep), Drop, Err, Status — none of which deliver
+// the request — then real delivery, then DropResponse and Duplicate.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, fire := t.inj.At(SiteTransport)
+	if !fire {
+		return t.transport().RoundTrip(req)
+	}
+
+	// Buffer the body up front: a Duplicate fault replays the request, and
+	// even single delivery needs a fresh reader once we own the body.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: buffering request body: %w", err)
+		}
+	}
+	deliver := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return t.transport().RoundTrip(r)
+	}
+
+	if f.Latency > 0 {
+		timer := time.NewTimer(f.Latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	switch {
+	case f.Drop:
+		return nil, fmt.Errorf("%w (request)", ErrDropped)
+	case f.Err != nil:
+		return nil, f.Err
+	case f.Status != 0:
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			StatusCode: f.Status,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"X-Faultinject": []string{"synthetic"}},
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	}
+
+	resp, err := deliver()
+	if err != nil {
+		return resp, err
+	}
+	if f.DropResponse {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining a doomed body
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w (response)", ErrDropped)
+	}
+	if f.Duplicate {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // first delivery's response is discarded
+		resp.Body.Close()
+		return deliver()
+	}
+	return resp, nil
+}
+
+// Transport chaos profiles for cluster suites, mirroring the engine-side
+// profiles above.
+
+// PartitionProfile models a full network partition: every request is
+// blackholed.
+func PartitionProfile(seed int64) *Injector {
+	return New(seed).Set(SiteTransport, Point{Rate: 1, Fault: Fault{Drop: true}})
+}
+
+// LossyProfile models a lossy link: each request is independently dropped
+// with probability rate.
+func LossyProfile(seed int64, rate float64) *Injector {
+	return New(seed).Set(SiteTransport, Point{Rate: rate, Fault: Fault{Drop: true}})
+}
+
+// DuplicateProfile models a retransmitting link: each request is delivered
+// twice with probability rate.
+func DuplicateProfile(seed int64, rate float64) *Injector {
+	return New(seed).Set(SiteTransport, Point{Rate: rate, Fault: Fault{Duplicate: true}})
+}

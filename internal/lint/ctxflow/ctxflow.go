@@ -30,7 +30,7 @@ var Analyzer = &analysis.Analyzer{
 	Run:      run,
 }
 
-var scope = "core,server,harness"
+var scope = "core,server,harness,cluster"
 
 func init() {
 	Analyzer.Flags.StringVar(&scope, "scope", scope,

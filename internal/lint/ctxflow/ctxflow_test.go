@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxFlow(t *testing.T) {
-	linttest.Run(t, ctxflow.Analyzer, "server", "tools", "core")
+	linttest.Run(t, ctxflow.Analyzer, "server", "tools", "core", "cluster")
 }

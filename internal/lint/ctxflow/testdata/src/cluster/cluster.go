@@ -1,0 +1,50 @@
+// Fixture for the ctxflow analyzer: "cluster" is the epoch coordinator —
+// every push, probe, and retry sleep must descend from the caller's
+// context so Run's cancellation actually stops in-flight RPCs.
+package cluster
+
+import "context"
+
+// goodPushLoop threads the coordinator context through every retry.
+func goodPushLoop(ctx context.Context, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		if err := rpc(ctx); err == nil {
+			return nil
+		}
+	}
+	return ctx.Err()
+}
+
+// badRetryContext conjures a root context for the retry, so cancelling
+// the coordinator leaves the RPC running to its full timeout.
+func badRetryContext(attempts int) error {
+	for i := 0; i < attempts; i++ {
+		ctx := context.Background() // want `context.Background\(\) on a request path severs cancellation`
+		if err := rpc(ctx); err == nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// badProbeTODO is the same severance through TODO.
+func badProbeTODO() error {
+	return rpc(context.TODO()) // want `context.TODO\(\) on a request path severs cancellation`
+}
+
+// allowedDetachedCatchUp is the audited pattern: a rejoining node's
+// catch-up replay outlives the probe tick that discovered it.
+func allowedDetachedCatchUp() error {
+	//lint:allow ctxflow catch-up replay must outlive the probe tick
+	ctx := context.Background()
+	return rpc(ctx)
+}
+
+func rpc(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

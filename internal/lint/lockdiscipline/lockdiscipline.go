@@ -49,6 +49,14 @@ var blockingCalls = map[string]bool{
 	"RecostWith":     true,
 	"RecostPlanWith": true,
 	"Process":        true,
+	// Coordinator RPCs block for a network round trip (with retries and
+	// backoff); holding the coordinator's lock across one stalls probe and
+	// status rollups for every other member.
+	"rpcPushEpoch":     true,
+	"rpcHealthz":       true,
+	"rpcClusterStatus": true,
+	"rpcAdminEpochs":   true,
+	"rpcGetJSON":       true,
 }
 
 // wrapperNames are lock-acquisition/release wrapper methods that hold or

@@ -1,0 +1,84 @@
+// Fixture exercising the coordinator-loop lock rule: the epoch
+// coordinator's rpc* helpers block for a network round trip (retries,
+// backoff), so calling one while the coordinator's write lock is held
+// convoys every probe and status reader behind a slow member.
+package coordpath
+
+import "sync"
+
+type client struct{}
+
+func (c *client) rpcPushEpoch(url string) (uint64, error)  { return 0, nil }
+func (c *client) rpcHealthz(url string) error              { return nil }
+func (c *client) rpcClusterStatus(url string) (int, error) { return 0, nil }
+func (c *client) rpcAdminEpochs(url string) (int, error)   { return 0, nil }
+func (c *client) rpcGetJSON(url string, out any) error     { return nil }
+
+type Coordinator struct {
+	mu    sync.RWMutex
+	cl    *client
+	acked map[string]uint64
+}
+
+// goodPushOutsideLock snapshots the target under the lock, pushes outside
+// it, and records the ack in a second short critical section — the shape
+// push.go uses.
+func goodPushOutsideLock(c *Coordinator, url string) error {
+	target := c.nextTarget(url)
+	ep, err := c.cl.rpcPushEpoch(url)
+	if err != nil {
+		return err
+	}
+	c.recordAck(url, ep, target)
+	return nil
+}
+
+func (c *Coordinator) nextTarget(url string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acked[url] + 1
+}
+
+func (c *Coordinator) recordAck(url string, ep, target uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ep > c.acked[url] {
+		c.acked[url] = target
+	}
+}
+
+// badPushUnderLock performs the round trip inside the critical section.
+func badPushUnderLock(c *Coordinator, url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep, err := c.cl.rpcPushEpoch(url) // want `rpcPushEpoch called while the write lock is held`
+	if err != nil {
+		return err
+	}
+	c.acked[url] = ep
+	return nil
+}
+
+// badProbeUnderLock: probing every member serially under the lock stalls
+// the whole status surface for a member timeout apiece.
+func badProbeUnderLock(c *Coordinator, urls []string) {
+	c.mu.Lock()
+	for _, u := range urls {
+		_ = c.cl.rpcHealthz(u) // want `rpcHealthz called while the write lock is held`
+	}
+	c.mu.Unlock()
+}
+
+// badRollupUnderLock covers the remaining rpc helpers.
+func badRollupUnderLock(c *Coordinator, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, err := c.cl.rpcClusterStatus(url); err == nil { // want `rpcClusterStatus called while the write lock is held`
+		_ = n
+	}
+	if n, err := c.cl.rpcAdminEpochs(url); err == nil { // want `rpcAdminEpochs called while the write lock is held`
+		_ = n
+	}
+	var out struct{}
+	_ = c.cl.rpcGetJSON(url, &out) // want `rpcGetJSON called while the write lock is held`
+}

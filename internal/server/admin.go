@@ -27,12 +27,19 @@ type adminState struct {
 	mu  sync.Mutex
 	sys *pqo.System
 	log []*epochRecord
+	// installMu serializes whole generation installs (admin- and
+	// cluster-initiated): the read-current-epoch / build-store / advance
+	// sequence must be atomic so concurrent installs cannot interleave
+	// and the cluster handler's monotonicity check stays sound. It is
+	// never held while mu is taken for log access the other way around,
+	// and no RPC or engine call runs under mu.
+	installMu sync.Mutex
 }
 
 // epochRecord is one entry of the epoch log.
 type epochRecord struct {
 	id      uint64
-	reason  string   // "initial", "delta" or "resample"
+	reason  string   // "initial", "delta", "resample", "cluster-delta" or "cluster-resample"
 	columns []string // refreshed columns, delta advances only
 	at      time.Time
 	// revals holds the per-template revalidation runs this advance
@@ -107,41 +114,73 @@ func (s *Server) handleAdminStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	out, code, sentinel, err := func() (*advanceOutcome, int, string, error) {
+		s.admin.installMu.Lock()
+		defer s.admin.installMu.Unlock()
+		return s.advanceGeneration(r.Context(), sys, "", req.Deltas, req.ResampleSeed, req.Workers)
+	}()
+	if err != nil {
+		writeError(w, code, sentinel, err)
+		return
+	}
+
+	resp := AdminStatsResponse{Epoch: out.epoch, Revalidation: make(map[string]pqo.RevalidationProgress, len(out.revals))}
+	for name, run := range out.revals {
+		resp.Revalidation[name] = run.Progress()
+	}
+	writeJSON(w, resp)
+}
+
+// advanceOutcome reports one completed generation install.
+type advanceOutcome struct {
+	epoch  uint64
+	revals map[string]*pqo.Revalidation
+}
+
+// advanceGeneration installs one statistics generation — from per-column
+// deltas or a full resample — advances the epoch, kicks off background
+// revalidation of every registered plan cache, and appends the epoch
+// record. It is the shared core of the admin (/v1/admin/stats) and
+// cluster (/v1/cluster/epoch) install paths; reasonPrefix distinguishes
+// them in the epoch log ("" or "cluster-"). On failure it returns the
+// HTTP status and sentinel the caller should respond with.
+//
+// The caller must hold s.admin.installMu so concurrent installs cannot
+// interleave between reading the current store and advancing the epoch.
+func (s *Server) advanceGeneration(ctx context.Context, sys *pqo.System, reasonPrefix string, deltas []pqo.HistogramDelta, resampleSeed *int64, workers int) (*advanceOutcome, int, string, error) {
 	var (
 		next    *pqo.StatsStore
 		reason  string
 		columns []string
 		err     error
 	)
-	if len(req.Deltas) > 0 {
-		reason = "delta"
-		next, err = sys.Stats.Apply(req.Deltas)
+	if len(deltas) > 0 {
+		reason = reasonPrefix + "delta"
+		next, err = sys.Stats.Apply(deltas)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "ErrBadRequest", err)
-			return
+			return nil, http.StatusBadRequest, "ErrBadRequest", err
 		}
-		for _, d := range req.Deltas {
+		for _, d := range deltas {
 			columns = append(columns, d.Table+"."+d.Column)
 		}
 		sort.Strings(columns)
 	} else {
-		reason = "resample"
-		next, err = sys.ResampleStats(*req.ResampleSeed)
+		reason = reasonPrefix + "resample"
+		next, err = sys.ResampleStats(*resampleSeed)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "", err)
-			return
+			return nil, http.StatusInternalServerError, "", err
 		}
 	}
 
 	ep := sys.AdvanceEpoch(next)
 	s.logf("statistics epoch %d installed (%s)", ep.ID, reason)
 
-	// Revalidation outlives the admin request: detach from its deadline
+	// Revalidation outlives the install request: detach from its deadline
 	// and cancellation while keeping its values (trace metadata etc.).
-	detached := context.WithoutCancel(r.Context())
+	detached := context.WithoutCancel(ctx)
 	revals := make(map[string]*pqo.Revalidation)
 	for _, e := range s.snapshotEntries() {
-		run, err := e.scr.Revalidate(detached, req.Workers)
+		run, err := e.scr.Revalidate(detached, workers)
 		if err != nil {
 			// ErrEpochUnsupported: a template registered over a foreign
 			// engine; its cache simply has no epoch lifecycle to catch up.
@@ -154,12 +193,7 @@ func (s *Server) handleAdminStats(w http.ResponseWriter, r *http.Request) {
 	s.appendEpochRecord(&epochRecord{
 		id: ep.ID, reason: reason, columns: columns, at: time.Now(), revals: revals,
 	})
-
-	resp := AdminStatsResponse{Epoch: ep.ID, Revalidation: make(map[string]pqo.RevalidationProgress, len(revals))}
-	for name, run := range revals {
-		resp.Revalidation[name] = run.Progress()
-	}
-	writeJSON(w, resp)
+	return &advanceOutcome{epoch: ep.ID, revals: revals}, 0, "", nil
 }
 
 // EpochInfo is one row of GET /v1/admin/epochs.

@@ -131,6 +131,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.InjectedFaults) }},
 		{"pqo_stats_epoch", "Current statistics epoch id (0 = epoch-less engine).",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.StatsEpoch) }},
+		{"pqo_cluster_epoch_observed", "Highest cluster statistics generation observed from the coordinator (0 = none).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.ClusterEpoch) }},
+		{"pqo_cluster_epoch_skew", "Generations this node's statistics epoch lags the observed cluster epoch.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.EpochSkew) }},
+		{"pqo_epoch_skew_flagged_total", "Decisions served flagged because the node exceeded the cluster skew bound.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.EpochSkewFlagged) }},
 		{"pqo_lagging_instances", "Cached instance anchors awaiting revalidation under the current epoch.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.LaggingInstances) }},
 		{"pqo_revalidated_plans_total", "Anchors re-derived under a new statistics epoch by background revalidation.",

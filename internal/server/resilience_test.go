@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -279,8 +280,10 @@ func TestLoadShedding(t *testing.T) {
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("overload status = %d, want 429", w.Code)
 	}
-	if ra := w.Header().Get("Retry-After"); ra != "2" {
-		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	// Retry-After is jittered in [base, 2·base] whole seconds so a herd
+	// of shed clients does not come back in lockstep.
+	if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || ra < 2 || ra > 4 {
+		t.Errorf("Retry-After = %q, want an integer in [2, 4]", w.Header().Get("Retry-After"))
 	}
 	if eb := decodeError(t, w); eb.Sentinel != "ErrOverloaded" {
 		t.Errorf("sentinel = %q, want ErrOverloaded", eb.Sentinel)
@@ -344,6 +347,37 @@ func TestHealthzStates(t *testing.T) {
 		}
 	})
 
+	t.Run("degraded-epoch-skew", func(t *testing.T) {
+		s, _ := adminSystem(t)
+		h := s.Handler()
+		// A coordinator stamp on any route teaches the node it is behind:
+		// cluster generation 5 against an installed epoch of 1.
+		req := httptest.NewRequest(http.MethodGet, "/v1/cluster/status", nil)
+		req.Header.Set(ClusterEpochHeader, "5")
+		h.ServeHTTP(httptest.NewRecorder(), req)
+
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("skewed healthz status = %d, want 200", w.Code)
+		}
+		var hs HealthStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &hs); err != nil {
+			t.Fatal(err)
+		}
+		if hs.Status != "degraded" || hs.Epoch != 1 || hs.ClusterEpoch != 5 || hs.EpochSkew != 4 {
+			t.Fatalf("healthz = %+v, want degraded epoch 1 cluster 5 skew 4", hs)
+		}
+		// Decisions served while past the bound carry the epoch-skew flag.
+		pw, plan := postPlan(t, h, PlanRequest{Template: "q2", SVector: []float64{0.4, 30}})
+		if pw.Code != http.StatusOK {
+			t.Fatalf("plan under skew status = %d: %s", pw.Code, pw.Body)
+		}
+		if !plan.Degraded || plan.DegradedReason != string(pqo.DegradedEpochSkew) {
+			t.Fatalf("plan under skew = %+v, want flagged %s", plan, pqo.DegradedEpochSkew)
+		}
+	})
+
 	t.Run("unhealthy-draining", func(t *testing.T) {
 		s, _ := newResilientServer(t, Config{})
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -357,6 +391,35 @@ func TestHealthzStates(t *testing.T) {
 			t.Fatalf("draining healthz status = %d, want 503", w.Code)
 		}
 	})
+}
+
+// TestRetryAfterJitterBounds pins the jittered Retry-After hint to its
+// documented envelope [base, 2·base] (with a 1s floor), so shed clients
+// spread out instead of stampeding back in lockstep after a quorum-wide
+// withhold.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	cases := []struct {
+		base   time.Duration
+		lo, hi int
+	}{
+		{0, 1, 2},
+		{500 * time.Millisecond, 1, 2},
+		{2 * time.Second, 2, 4},
+		{5 * time.Second, 5, 10},
+	}
+	for _, tc := range cases {
+		seen := make(map[int]bool)
+		for i := 0; i < 400; i++ {
+			got := retryAfterSeconds(tc.base)
+			if got < tc.lo || got > tc.hi {
+				t.Fatalf("retryAfterSeconds(%v) = %d, want in [%d, %d]", tc.base, got, tc.lo, tc.hi)
+			}
+			seen[got] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("retryAfterSeconds(%v) never jittered: only %v over 400 draws", tc.base, seen)
+		}
+	}
 }
 
 // TestShutdownUnderLoad drives real TCP connections: requests parked

@@ -88,6 +88,21 @@ func (s *Server) routes() []route {
 			description: "Every epoch this process has served, with its origin and per-template revalidation progress.",
 		},
 		{
+			path: APIVersion + "/cluster/epoch", method: http.MethodPost,
+			handler: s.handleClusterEpoch,
+			summary: "Install a coordinator-pushed statistics generation",
+			description: "Idempotent member-side install for multi-node epoch propagation: epoch N+1 installs " +
+				"when the node is at N, earlier epochs are acknowledged as duplicates, and later epochs are " +
+				"refused with ErrEpochGap (the coordinator replays the missed generations in order).",
+		},
+		{
+			path: APIVersion + "/cluster/status", method: http.MethodGet,
+			handler: s.handleClusterStatus,
+			summary: "Node epoch and skew status",
+			description: "The node's installed generation, the highest cluster generation it has observed, the " +
+				"resulting skew, and revalidation lag — the roll-up the epoch coordinator and load balancers poll.",
+		},
+		{
 			path: APIVersion + "/openapi.json", method: http.MethodGet,
 			handler:     s.handleOpenAPI,
 			summary:     "This API's OpenAPI document",
@@ -104,6 +119,10 @@ func (s *Server) Handler() http.Handler {
 	for _, rt := range s.routes() {
 		rt := rt
 		mux.HandleFunc(rt.path, func(w http.ResponseWriter, r *http.Request) {
+			// Every coordinator RPC carries the cluster-epoch stamp; feeding
+			// it to the plan caches here means even a node that cannot
+			// install (mid-partition, mid-replay) learns it is behind.
+			s.observeClusterHeader(r)
 			if !methodAllowed(r.Method, rt.method) {
 				w.Header().Set("Allow", rt.method)
 				writeError(w, http.StatusMethodNotAllowed, "ErrMethodNotAllowed",

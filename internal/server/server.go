@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -155,12 +156,19 @@ func (s *Server) Register(name, sql string, eng pqo.Engine, scr *pqo.SCR) error 
 	}
 	e := &entry{name: name, sql: sql, eng: eng, scr: scr}
 	if s.cfg.SnapshotDir != "" {
-		if data, err := os.ReadFile(s.snapshotPath(name)); err == nil {
+		// ReadSnapshotFile verifies the checksum framing, so a node killed
+		// mid-persist rejoins from its last good snapshot: a torn write
+		// fails verification here (logged, ignored) instead of being half-
+		// imported, and the atomic-rename writer below means the previous
+		// good file is still what's at this path.
+		if data, err := pqo.ReadSnapshotFile(s.snapshotPath(name)); err == nil {
 			if err := scr.Import(data); err != nil {
 				s.logf("snapshot for %s ignored: %v", name, err)
 			} else {
 				s.logf("restored plan cache for %s (%d plans)", name, scr.Stats().CurPlans)
 			}
+		} else if !os.IsNotExist(err) {
+			s.logf("snapshot for %s unreadable: %v", name, err)
 		}
 	}
 	s.mu.Lock()
@@ -190,18 +198,29 @@ func (s *Server) logf(format string, args ...any) {
 
 // HealthStatus is the body of GET /v1/healthz: a three-state readiness
 // report. "serving" means full service; "degraded" means the service is
-// up but shedding load or running with an unhealthy optimizer (a circuit
-// breaker not closed), so responses may carry Degraded decisions;
-// "unhealthy" means the server is shutting down and new requests will be
-// rejected.
+// up but shedding load, running with an unhealthy optimizer (a circuit
+// breaker not closed), or lagging the cluster statistics generation past
+// the skew bound, so responses may carry Degraded decisions; "unhealthy"
+// means the server is shutting down and new requests will be rejected.
+//
+// The epoch fields report revalidation lag so load balancers and the
+// epoch coordinator can drain or deprioritize lagging nodes: Epoch is the
+// node's installed statistics generation, ClusterEpoch the highest
+// cluster generation observed (0 when no coordinator has spoken),
+// EpochSkew their difference, and LaggingInstances the plan-cache anchors
+// still awaiting revalidation, summed over templates.
 type HealthStatus struct {
-	Status   string            `json:"status"`
-	Breakers map[string]string `json:"breakers,omitempty"`
-	Sheds    int64             `json:"sheds,omitempty"`
+	Status           string            `json:"status"`
+	Breakers         map[string]string `json:"breakers,omitempty"`
+	Sheds            int64             `json:"sheds,omitempty"`
+	Epoch            uint64            `json:"epoch,omitempty"`
+	ClusterEpoch     uint64            `json:"clusterEpoch,omitempty"`
+	EpochSkew        uint64            `json:"epochSkew,omitempty"`
+	LaggingInstances int64             `json:"laggingInstances,omitempty"`
 }
 
-// health computes the current health state from breaker states and shed
-// recency.
+// health computes the current health state from breaker states, shed
+// recency and cluster-epoch skew.
 func (s *Server) health() HealthStatus {
 	h := HealthStatus{Status: "serving", Sheds: s.shedTotal.Load()}
 	if s.draining.Load() {
@@ -217,6 +236,21 @@ func (s *Server) health() HealthStatus {
 			h.Breakers[e.name] = st.BreakerState.String()
 			h.Status = "degraded"
 		}
+		if st.StatsEpoch > h.Epoch {
+			h.Epoch = st.StatsEpoch
+		}
+		if st.ClusterEpoch > h.ClusterEpoch {
+			h.ClusterEpoch = st.ClusterEpoch
+		}
+		h.LaggingInstances += st.LaggingInstances
+		if e.scr.SkewLagging() {
+			// Behind the cluster quorum past the skew bound: decisions are
+			// being served flagged, so report degraded until catch-up.
+			h.Status = "degraded"
+		}
+	}
+	if h.ClusterEpoch > h.Epoch {
+		h.EpochSkew = h.ClusterEpoch - h.Epoch
 	}
 	if last := s.lastShed.Load(); last != 0 &&
 		time.Since(time.Unix(0, last)) < shedRecencyWindow {
@@ -230,6 +264,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if h.Status == "unhealthy" {
 		// Errors use the uniform envelope even here, so probes and humans
 		// parse one shape everywhere.
+		s.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, "ErrUnhealthy",
 			errors.New("server is shutting down"))
 		return
@@ -324,7 +359,7 @@ func (s *Server) SaveSnapshots() (int, error) {
 		if err != nil {
 			return saved, fmt.Errorf("server: exporting %s: %w", e.name, err)
 		}
-		if err := os.WriteFile(s.snapshotPath(e.name), data, 0o644); err != nil {
+		if err := pqo.WriteSnapshotFile(s.snapshotPath(e.name), data); err != nil {
 			return saved, err
 		}
 		saved++
@@ -348,12 +383,18 @@ type PlanRequest struct {
 // computed because recosting failed after the decision — the plan itself
 // is still valid.
 type PlanResponse struct {
-	Via             string  `json:"via"`
-	Optimized       bool    `json:"optimized"`
-	Shared          bool    `json:"shared,omitempty"`
-	Degraded        bool    `json:"degraded,omitempty"`
-	DegradedReason  string  `json:"degradedReason,omitempty"`
-	Epoch           uint64  `json:"epoch,omitempty"`
+	Via            string `json:"via"`
+	Optimized      bool   `json:"optimized"`
+	Shared         bool   `json:"shared,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	Epoch          uint64 `json:"epoch,omitempty"`
+	// NodeEpoch is the node's installed statistics generation at response
+	// time. It can run ahead of Epoch (a lagging anchor's guarantee is
+	// stated against the generation it was derived under) and is the value
+	// cross-node skew is measured on: two healthy nodes must never differ
+	// by more than the cluster skew bound.
+	NodeEpoch       uint64  `json:"nodeEpoch,omitempty"`
 	EstimatedCost   float64 `json:"estimatedCost"`
 	CostUnavailable bool    `json:"costUnavailable,omitempty"`
 	Plan            string  `json:"plan"`
@@ -430,12 +471,28 @@ func (s *Server) acquireSlot(ctx context.Context) (release func(), ok bool) {
 	return nil, false
 }
 
-func (s *Server) shed(w http.ResponseWriter) {
-	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
-	if secs < 1 {
-		secs = 1
+// retryAfterSeconds is the whole-second Retry-After hint attached to every
+// shed (429) and unavailable (503) response: the configured base, rounded
+// up to at least 1s, plus uniform jitter of up to one base interval — so
+// the value lies in [base, 2·base]. Without jitter a quorum-wide withhold
+// (every node refusing at once during an epoch advance) would synchronize
+// all clients onto the same retry instant and turn recovery into a
+// stampede.
+func retryAfterSeconds(base time.Duration) int {
+	b := int(math.Ceil(base.Seconds()))
+	if b < 1 {
+		b = 1
 	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	return b + rand.Intn(b+1)
+}
+
+// setRetryAfter stamps the jittered Retry-After header.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
+}
+
+func (s *Server) shed(w http.ResponseWriter) {
+	s.setRetryAfter(w)
 	writeError(w, http.StatusTooManyRequests, "ErrOverloaded",
 		errors.New("server: overloaded, request shed"))
 }
@@ -475,6 +532,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	dec, err := e.scr.Process(ctx, req.SVector)
 	if err != nil {
 		code, sentinel := statusFor(err)
+		if code == http.StatusServiceUnavailable {
+			s.setRetryAfter(w)
+		}
 		writeError(w, code, sentinel, err)
 		return
 	}
@@ -485,6 +545,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Degraded:       dec.Degraded,
 		DegradedReason: string(dec.DegradedReason),
 		Epoch:          dec.Epoch,
+		NodeEpoch:      e.scr.CurrentStatsEpoch(),
 		Plan:           dec.Plan.Plan.String(),
 		Fingerprint:    dec.Plan.Fingerprint(),
 	}

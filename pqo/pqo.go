@@ -102,6 +102,7 @@ const (
 	DegradedOptimizerPanic   = core.DegradedOptimizerPanic
 	DegradedOptimizerError   = core.DegradedOptimizerError
 	DegradedStatsEpochLag    = core.DegradedStatsEpochLag
+	DegradedEpochSkew        = core.DegradedEpochSkew
 )
 
 // Circuit breaker states (Stats.BreakerState).
@@ -129,6 +130,7 @@ var (
 	ErrBreakerOpen      = core.ErrBreakerOpen
 	ErrUnavailable      = core.ErrUnavailable
 	ErrEpochUnsupported = core.ErrEpochUnsupported
+	ErrSnapshotCorrupt  = core.ErrSnapshotCorrupt
 )
 
 // New builds an SCR plan cache over eng from functional options; see the
@@ -152,12 +154,29 @@ var (
 	WithDegradedFallback    = core.WithDegradedFallback
 	WithOptimizerDeadline   = core.WithOptimizerDeadline
 	WithCircuitBreaker      = core.WithCircuitBreaker
+	WithClusterSkewBound    = core.WithClusterSkewBound
 )
 
 // InspectSnapshot parses an SCR.Export-produced snapshot and returns its
 // summary without needing an engine.
 func InspectSnapshot(data []byte) (*SnapshotSummary, error) {
 	return core.InspectSnapshot(data)
+}
+
+// WriteSnapshotFile persists an SCR.Export-produced snapshot crash-safely:
+// framed with a checksum, written to a temp file, fsynced and atomically
+// renamed over path, so a process killed mid-persist always leaves either
+// the previous snapshot or the new one — never a torn mix.
+func WriteSnapshotFile(path string, data []byte) error {
+	return core.WriteSnapshotFile(path, data)
+}
+
+// ReadSnapshotFile reads a snapshot written by WriteSnapshotFile,
+// verifying its checksum; damaged files fail with an error wrapping
+// ErrSnapshotCorrupt. Pre-framing snapshots (raw Export JSON) pass
+// through unverified for backward compatibility.
+func ReadSnapshotFile(path string) ([]byte, error) {
+	return core.ReadSnapshotFile(path)
 }
 
 // Database-system surface: catalogs, templates, engines.

@@ -23,7 +23,7 @@ go build ./...
 go test -shuffle=on ./...
 go test -race ./internal/core/ ./internal/server/ ./internal/engine/ \
     ./internal/baselines/ ./internal/harness/ ./internal/memo/ \
-    ./internal/faultinject/
+    ./internal/faultinject/ ./internal/cluster/
 
 run_lint() {
     # pqolint: the repo's invariant analyzers (docs/LINT.md). Driven through
@@ -75,6 +75,10 @@ case "${1:-}" in
 -chaos)
     # Full chaos streams: long fault-injected request replays under the
     # race detector (the short profile already runs in the default suite).
+    # TestChaos matches both the single-node serving chaos and the
+    # network-fault cluster profile (TestChaosCluster): a three-node
+    # in-process cluster driven through epoch advances under dropped,
+    # delayed, duplicated, and partitioned coordinator RPCs.
     go test -race ./internal/server/ -run 'TestChaos' -chaos.full \
         -count=1 -timeout 600s -v
     ;;
