@@ -9,7 +9,6 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/plan"
@@ -66,30 +65,21 @@ func (s *SCR) Export() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// sortedPlanFPs returns the plan fingerprints in deterministic order.
-//
-//lint:allow hotalloc ordered-iteration helper for the writer and management paths, off the per-request path
-func (s *SCR) sortedPlanFPs() []string {
-	fps := make([]string, 0, len(s.plans))
-	for fp := range s.plans {
-		fps = append(fps, fp)
-	}
-	sort.Strings(fps)
-	return fps
-}
-
 // Import restores a plan cache exported by Export into an empty SCR whose
 // engine supports rehydration. Importing into a non-empty cache is
 // rejected: merged caches could double-count usage and violate budget
-// accounting.
+// accounting. The whole install — plan set and instance list — lands
+// under one publication, so readers see either the empty cache or the
+// fully imported one.
 func (s *SCR) Import(data []byte) error {
 	rh, ok := s.eng.(Rehydrator)
 	if !ok {
 		return fmt.Errorf("core: engine %T cannot rehydrate plans", s.eng)
 	}
-	s.lock()
-	defer s.mu.Unlock()
-	if len(s.plans) != 0 || len(s.instances) != 0 {
+	d := &s.dom
+	d.lock()
+	defer d.unlock()
+	if len(d.plans) != 0 || len(d.instances) != 0 {
 		return fmt.Errorf("core: import into non-empty plan cache")
 	}
 	var in cacheJSON
@@ -134,15 +124,7 @@ func (s *SCR) Import(data []byte) error {
 		e.quarantined.Store(ij.Quarantined)
 		insts = append(insts, e)
 	}
-	s.plans = make(map[string]*planEntry, len(byFP))
-	for fp, pe := range byFP {
-		s.plans[fp] = pe
-	}
-	s.instances = insts
-	if n := int64(len(s.plans)); n > s.maxPlans.Load() {
-		s.maxPlans.Store(n)
-	}
-	s.publishLocked()
+	d.installImportLocked(byFP, insts)
 	return nil
 }
 

@@ -128,12 +128,47 @@ func (s *SCR) CurrentRevalidation() *Revalidation { return s.reval.Load() }
 // as foreground traffic (circuit breaker, deadline, panic containment,
 // fault injection), so a sick optimizer degrades revalidation instead of
 // revalidation masking the sickness.
+//
+// Revalidate covers one template (one write domain); Directory.Revalidate
+// walks every attached domain through one shared pool with usage-weighted
+// cross-domain ordering (domains.go).
 func (s *SCR) Revalidate(ctx context.Context, workers int) (*Revalidation, error) {
+	j, err := s.prepareReval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	runReval([]*revalJob{j}, workers)
+	return j.r, nil
+}
+
+// revalJob is one domain's share of a revalidation round: its lagging
+// entries in cheapest-first order plus the bookkeeping the shared worker
+// pool needs to feed and finish the run.
+type revalJob struct {
+	s   *SCR
+	r   *Revalidation
+	ctx context.Context
+	// lag is the entry work list, cheapest-first; next indexes the first
+	// not-yet-dispatched entry (feeder goroutine only).
+	lag  []*instanceEntry
+	next int
+	// usage is the aggregate usage count of the lagging entries — the
+	// cross-domain feeding priority: revalidating the hottest domain's
+	// entries first retires the most epoch-lag fallbacks per optimizer
+	// call.
+	usage int64
+	// left counts entries not yet finished or abandoned; the run
+	// completes when it reaches zero.
+	left atomic.Int64
+	once sync.Once
+}
+
+// prepareReval snapshots one domain's lagging entries into a revalJob and
+// installs its Revalidation handle (superseding any in-flight run). A
+// domain with nothing lagging yields an already-finished job.
+func (s *SCR) prepareReval(ctx context.Context) (*revalJob, error) {
 	if s.epochEng == nil {
 		return nil, ErrEpochUnsupported
-	}
-	if workers <= 0 {
-		workers = DefaultRevalidationWorkers
 	}
 	target := s.statsEpoch()
 	insts := s.snapshot().instances
@@ -143,7 +178,9 @@ func (s *SCR) Revalidate(ctx context.Context, workers int) (*Revalidation, error
 			lag = append(lag, e)
 		}
 	}
-	// Cheapest-first (ties broken by plan fingerprint for determinism).
+	// Cheapest-first within the domain (ties broken by plan fingerprint
+	// for determinism): cheap instances are the ones dynamic λ bounds
+	// loosest and traffic hits most often.
 	sort.SliceStable(lag, func(i, j int) bool {
 		ai, aj := lag[i].anc.Load(), lag[j].anc.Load()
 		if ai.c != aj.c {
@@ -162,38 +199,112 @@ func (s *SCR) Revalidate(ctx context.Context, workers int) (*Revalidation, error
 	if prev := s.reval.Swap(r); prev != nil {
 		prev.supersede()
 	}
-	if len(lag) == 0 {
-		cancel()
-		close(r.finished)
-		return r, nil
+	j := &revalJob{s: s, r: r, ctx: rctx, lag: lag}
+	j.left.Store(int64(len(lag)))
+	for _, e := range lag {
+		j.usage += e.u.Load()
 	}
+	if len(lag) == 0 {
+		j.complete()
+	}
+	return j, nil
+}
 
-	work := make(chan *instanceEntry)
+// finishOne accounts one dispatched entry as processed.
+func (j *revalJob) finishOne() {
+	if j.left.Add(-1) == 0 {
+		j.complete()
+	}
+}
+
+// abandon accounts k never-dispatched entries of a cancelled job.
+func (j *revalJob) abandon(k int) {
+	if k <= 0 {
+		return
+	}
+	if j.left.Add(int64(-k)) == 0 {
+		j.complete()
+	}
+}
+
+// complete finishes the job's run exactly once: the context is cancelled
+// (releasing any resources) and the handle's Done channel closes.
+func (j *revalJob) complete() {
+	j.once.Do(func() {
+		j.r.cancel()
+		close(j.r.finished)
+	})
+}
+
+// revalItem is one unit of shared-pool work: an entry and the job it
+// belongs to.
+type revalItem struct {
+	job *revalJob
+	e   *instanceEntry
+}
+
+// runReval drives a set of revalidation jobs — one per domain — through a
+// single shared worker pool and returns immediately. The feeder
+// interleaves domains in decreasing aggregate-usage order, one entry per
+// domain per round (cheapest-first within each domain), so the pool is
+// never monopolized by a cold domain while a hot one lags, and each job's
+// handle completes as soon as its own entries are accounted for — a fast
+// domain's Done fires while slower domains keep revalidating.
+func runReval(jobs []*revalJob, workers int) {
+	if workers <= 0 {
+		workers = DefaultRevalidationWorkers
+	}
+	var live []*revalJob
+	for _, j := range jobs {
+		if len(j.lag) > 0 {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	sort.SliceStable(live, func(i, k int) bool { return live[i].usage > live[k].usage })
+
+	work := make(chan revalItem)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for e := range work {
-				s.revalidateEntry(rctx, r, e)
+			for it := range work {
+				it.job.s.revalidateEntry(it.job.ctx, it.job.r, it.e)
+				it.job.finishOne()
 			}
 		}()
 	}
 	go func() {
-	feed:
-		for _, e := range lag {
-			select {
-			case work <- e:
-			case <-rctx.Done():
-				break feed
+		for {
+			dispatched := false
+			for _, j := range live {
+				if j.next >= len(j.lag) {
+					continue
+				}
+				if j.ctx.Err() != nil {
+					j.abandon(len(j.lag) - j.next)
+					j.next = len(j.lag)
+					continue
+				}
+				select {
+				case work <- revalItem{job: j, e: j.lag[j.next]}:
+					j.next++
+					dispatched = true
+				case <-j.ctx.Done():
+					j.abandon(len(j.lag) - j.next)
+					j.next = len(j.lag)
+				}
+			}
+			if !dispatched {
+				break
 			}
 		}
 		close(work)
 		wg.Wait()
-		cancel()
-		close(r.finished)
 	}()
-	return r, nil
 }
 
 // revalidateEntry re-derives one lagging anchor under the run's target
@@ -278,39 +389,8 @@ func (s *SCR) revalidateEntry(ctx context.Context, r *Revalidation, e *instanceE
 // entry references it — and inserts the freshly optimized plan through
 // manageCache at the target epoch.
 func (s *SCR) replaceInstance(e *instanceEntry, cp *engine.CachedPlan, optCost float64, epoch uint64, r *Revalidation) {
-	s.lock()
-	defer s.mu.Unlock()
-	found := false
-	orphaned := true
-	kept := make([]*instanceEntry, 0, len(s.instances))
-	for _, o := range s.instances {
-		if o == e {
-			found = true
-			continue
-		}
-		kept = append(kept, o)
-		if o.pp == e.pp {
-			orphaned = false
-		}
-	}
-	if !found {
-		// The entry was evicted or swept while we optimized; nothing to
-		// replace.
-		return
-	}
-	s.instances = kept
-	r.droppedI.Add(1)
-	s.ctr.revalDroppedI.Add(1)
-	if orphaned {
-		delete(s.plans, e.pp.fp)
-		r.droppedP.Add(1)
-		s.ctr.revalDroppedP.Add(1)
-	}
-	if err := s.manageCache(e.v, cp, optCost, epoch); err != nil {
-		r.failed.Add(1)
-		s.ctr.revalFailed.Add(1)
-		return
-	}
-	r.reanchored.Add(1)
-	s.ctr.revalidated.Add(1)
+	d := &s.dom
+	d.lock()
+	defer d.unlock()
+	d.replaceEntryLocked(e, cp, optCost, epoch, r)
 }

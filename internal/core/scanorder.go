@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // ScanOrder selects how getPlan's selectivity check traverses the instance
 // list. §6.2 suggests the alternatives: scanning instances with larger
 // selectivity regions or higher usage counts first makes the first
@@ -46,30 +44,7 @@ func regionWeight(sv []float64) float64 {
 	return w
 }
 
-// resortInstances re-orders the master instance list per the configured
-// scan order. Called (under the writer mutex) every resortEvery lookups;
-// sorting is O(n log n) off the hot path and keeps the scan prefix
-// effective as the cache evolves. It sorts the master slice in place —
-// readers only ever see the copies publishLocked makes — and the caller
-// republishes so the new order becomes visible.
-//
-//lint:allow hotalloc amortized writer-path resort, runs every resortEvery lookups rather than per request
-func (s *SCR) resortInstances() {
-	if s.cfg.Scan == ScanInsertion {
-		return
-	}
-	insts := s.instances
-	switch s.cfg.Scan {
-	case ScanByArea:
-		sort.SliceStable(insts, func(i, j int) bool {
-			return regionWeight(insts[i].v) > regionWeight(insts[j].v)
-		})
-	case ScanByUsage:
-		sort.SliceStable(insts, func(i, j int) bool {
-			return insts[i].u.Load() > insts[j].u.Load()
-		})
-	}
-}
-
-// resortEvery is the number of instance-list insertions between re-sorts.
+// resortEvery is the number of instance-list insertions between re-sorts
+// (writeDomain.resortInstances in domain.go re-orders the master list
+// copy-on-write under the domain mutex).
 const resortEvery = 32

@@ -87,6 +87,16 @@ type Config struct {
 	// DegradedEpochSkew. Zero selects the default of 1 — adjacent
 	// generations only, matching the coordinator's default withhold rule.
 	SkewBound int
+
+	// sharedWriteMu, when non-nil, makes the SCR's write domain acquire
+	// this mutex instead of its own — collapsing several SCRs into one
+	// write domain. Benchmark-only (WithSharedWriteLock): it reconstructs
+	// the pre-sharding single-mutex write path as a baseline.
+	sharedWriteMu *sync.Mutex
+	// eagerPublish disables publication coalescing: every mutation under
+	// the domain mutex republishes the snapshot immediately. Benchmark-only
+	// (WithEagerPublish): it reconstructs the publish-per-mutation baseline.
+	eagerPublish bool
 }
 
 // DynamicLambda maps an instance's optimal cost to a λ in [Min, Max] via an
@@ -235,18 +245,27 @@ type counters struct {
 	readPathHits   stripe.Int64
 	selChecks      stripe.Int64
 	getPlanRecosts stripe.Int64
+	// writerWaitNs accumulates time spent waiting to acquire a write
+	// domain's mutex (pqo_writer_wait_seconds_total). Striped: under a
+	// miss-heavy load every Process may charge it, and the whole point of
+	// sharded write domains is that those writers not share a cache line.
+	writerWaitNs stripe.Int64
 
 	// Cold: slow-path only.
-	optCalls        atomic.Int64
-	sharedOptCalls  atomic.Int64
-	manageRecosts   atomic.Int64
-	violations      atomic.Int64
-	evictions       atomic.Int64
-	redundantPlans  atomic.Int64
-	writePathHits   atomic.Int64
-	writeLockWaitNs atomic.Int64
-	degraded        atomic.Int64
-	readPathErrors  atomic.Int64
+	optCalls       atomic.Int64
+	sharedOptCalls atomic.Int64
+	manageRecosts  atomic.Int64
+	violations     atomic.Int64
+	evictions      atomic.Int64
+	redundantPlans atomic.Int64
+	writePathHits  atomic.Int64
+	degraded       atomic.Int64
+	readPathErrors atomic.Int64
+	// Publication accounting (domain.go): snapshots actually published
+	// (flushes with pending marks) and marks absorbed by coalescing —
+	// publishes + coalesced = publishLocked calls.
+	publishes atomic.Int64
+	coalesced atomic.Int64
 	// Epoch lifecycle counters (revalidate.go): instances served flagged
 	// because their candidates lagged the current epoch, anchors
 	// revalidated, entries demoted in place, entries/plans dropped, and
@@ -260,15 +279,23 @@ type counters struct {
 	revalFailed    atomic.Int64
 }
 
-// cacheSnapshot is the immutable published view of the plan cache. A new
-// snapshot is built copy-on-write under the writer mutex on every
-// mutation and published with a single atomic pointer store
-// (publishLocked); readers load the pointer and scan without locks or
-// fences beyond the load itself — Go's atomic.Pointer gives the
-// happens-before edge that makes everything reachable from the snapshot
-// visible. Nothing reachable from a snapshot is ever written again
-// except the instance entries' designated atomic fields (anchor, usage,
-// quarantine), which are the shared mutable channel by design.
+// cacheSnapshot is the immutable published view of one write domain's
+// plan cache. It is built under the domain's writer mutex and published
+// with a single atomic pointer store (flushLocked, domain.go); readers
+// load the pointer and scan without locks or fences beyond the load
+// itself — Go's atomic.Pointer gives the happens-before edge that makes
+// everything reachable from the snapshot visible.
+//
+// Sharing discipline: the instances and plans slice HEADERS here are
+// copies of the master's, and the instance backing array is shared with
+// the master under the append-only invariant (domain.go): the published
+// length is fixed at publication, master appends land strictly beyond
+// it, and every non-append mutation installs a freshly allocated master
+// slice. No published element is ever written again except the instance
+// entries' designated atomic fields (anchor, usage, quarantine), which
+// are the shared mutable channel by design. The plan list is rebuilt
+// copy-on-write on every plan-set change, so the published header always
+// names an array the master will never touch.
 type cacheSnapshot struct {
 	// instances is the scan-ordered instance list (the 5-tuples of §6.1).
 	instances []*instanceEntry
@@ -278,10 +305,12 @@ type cacheSnapshot struct {
 	// index orders the same instance entries by anchor region weight for
 	// the O(log n + candidates) selectivity hit test (selHit).
 	index selIndex
-	// version counts cache mutations (plan/instance insertions,
-	// evictions, sweeps, imports, re-sorts). The miss path re-runs the
-	// checks only when the version moved past its read-path observation,
-	// so a serial miss pays the checks exactly once.
+	// version counts publications. Under coalescing one publication may
+	// cover a whole batch of mutations (a k-plan sweep, an import), but a
+	// mutation is never visible to readers without a version move, so the
+	// miss path's rule stands: re-run the checks only when the version
+	// moved past its read-path observation, and a serial miss pays the
+	// checks exactly once.
 	version int64
 	// epoch is the statistics epoch current when the snapshot was
 	// published (diagnostic; per-entry guarantees carry their own epochs
@@ -316,18 +345,17 @@ type SCR struct {
 	// (the default) always allows.
 	breaker *breaker
 
-	// mu serializes writers over the master state below. Readers never
-	// take it — they load snap.
-	mu        sync.Mutex
-	plans     map[string]*planEntry
-	instances []*instanceEntry
+	// dom is this template's write domain (domain.go): the writer mutex,
+	// the master plan/instance lists, and the published snapshot pointer.
+	// One SCR serves one template, so SCR-level sharding is per-template
+	// sharding — exactly the partition the paper's checks respect, since
+	// instances of different templates never interact in the selectivity
+	// or cost check. All master-state mutation goes through dom's
+	// methods; SCR methods wrap them with lock/unlock.
+	dom writeDomain
 
-	// snap is the published immutable view of the master state; never nil
-	// after NewSCR. Writers rebuild and swap it via publishLocked.
-	snap atomic.Pointer[cacheSnapshot]
-
-	// maxPlans is the plan-count high-water mark; written under mu, read
-	// lock-free by Stats.
+	// maxPlans is the plan-count high-water mark; written under the
+	// domain mutex, read lock-free by Stats.
 	maxPlans atomic.Int64
 
 	// clusterEpoch is the highest cluster-wide statistics generation the
@@ -350,14 +378,14 @@ func NewSCR(eng Engine, cfg Config) (*SCR, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &SCR{cfg: cfg, eng: eng, plans: make(map[string]*planEntry)}
-	s.snap.Store(&cacheSnapshot{})
+	s := &SCR{cfg: cfg, eng: eng}
 	if ee, ok := eng.(EpochEngine); ok {
 		s.epochEng = ee
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
+	s.dom.init(s)
 	return s, nil
 }
 
@@ -453,7 +481,7 @@ func (s *SCR) Name() string {
 // the (striped) counters, never the writer mutex, so scraping /stats under
 // load perturbs nothing.
 func (s *SCR) Stats() Stats {
-	snap := s.snap.Load()
+	snap := s.snapshot()
 	st := Stats{
 		Instances:              s.ctr.instances.Load(),
 		OptCalls:               s.ctr.optCalls.Load(),
@@ -466,9 +494,12 @@ func (s *SCR) Stats() Stats {
 		RedundantPlansRejected: s.ctr.redundantPlans.Load(),
 		ReadPathHits:           s.ctr.readPathHits.Load(),
 		WritePathHits:          s.ctr.writePathHits.Load(),
-		WriteLockWait:          time.Duration(s.ctr.writeLockWaitNs.Load()),
+		WriteLockWait:          time.Duration(s.ctr.writerWaitNs.Load()),
 		CurPlans:               len(snap.plans),
 		MaxPlans:               int(s.maxPlans.Load()),
+		WriteDomains:           1,
+		PublishTotal:           s.ctr.publishes.Load(),
+		PublishCoalesced:       s.ctr.coalesced.Load(),
 	}
 	st.DegradedDecisions = s.ctr.degraded.Load()
 	st.ReadPathErrors = s.ctr.readPathErrors.Load()
@@ -553,41 +584,6 @@ func (s *SCR) prepareEpoch(pi *engine.PreparedInstance) uint64 {
 	return s.statsEpoch()
 }
 
-// lock acquires the writer mutex, charging the wait to the write-path
-// lock-wait counter. (There is no read-side counterpart anymore: the read
-// path acquires nothing — it loads the published snapshot.)
-func (s *SCR) lock() {
-	start := time.Now()
-	s.mu.Lock()
-	s.ctr.writeLockWaitNs.Add(time.Since(start).Nanoseconds())
-}
-
-// publishLocked rebuilds the immutable cache snapshot from the master
-// state and publishes it with one atomic store, bumping the version.
-// Caller holds the writer mutex. This is the single point where readers
-// gain visibility of a mutation: the snapshot owns fresh slices (master
-// slices are never shared with a published snapshot, so writers may keep
-// mutating them in place), the plan list is re-sorted by fingerprint, and
-// the selectivity index is rebuilt. The O(n log n) rebuild rides on the
-// write path, which already paid a full optimizer call.
-//
-//lint:allow hotalloc writer-path snapshot rebuild, amortized against the mutation that triggered it
-func (s *SCR) publishLocked() {
-	insts := make([]*instanceEntry, len(s.instances))
-	copy(insts, s.instances)
-	plans := make([]*planEntry, 0, len(s.plans))
-	for _, fp := range s.sortedPlanFPs() {
-		plans = append(plans, s.plans[fp])
-	}
-	s.snap.Store(&cacheSnapshot{
-		instances: insts,
-		plans:     plans,
-		index:     buildSelIndex(insts),
-		version:   s.snap.Load().version + 1,
-		epoch:     s.statsEpoch(),
-	})
-}
-
 // Process implements Technique: getPlan under the read lock, then — on a
 // miss — one (possibly shared) optimizer call and manageCache under the
 // write lock. Cancelling ctx aborts before the optimizer call and while
@@ -637,7 +633,7 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 		// Second chance: an overlapping flight may have populated the
 		// cache between our read-path miss and winning the flight. Only
 		// re-run the checks if the cache actually changed since.
-		if s.snap.Load().version != seen {
+		if s.snapshot().version != seen {
 			//lint:allow rcupublish intentional second-chance re-check after winning the flight
 			dec, _, err := s.readPath(ctx, sv)
 			switch {
@@ -691,9 +687,10 @@ func (s *SCR) Process(ctx context.Context, sv []float64) (dec *Decision, err err
 // write lock (Algorithm 2). epoch is the statistics generation optCost
 // was derived under; the new anchor is tagged with it.
 func (s *SCR) storePlan(sv []float64, cp *engine.CachedPlan, optCost float64, epoch uint64) error {
-	s.lock()
-	defer s.mu.Unlock()
-	return s.manageCache(sv, cp, optCost, epoch)
+	d := &s.dom
+	d.lock()
+	defer d.unlock()
+	return d.manageCache(sv, cp, optCost, epoch)
 }
 
 // maybeResort refreshes the instance-list ordering per the configured scan
@@ -707,10 +704,10 @@ func (s *SCR) maybeResort() {
 	if s.lookups.Add(1)%resortEvery != 0 {
 		return
 	}
-	s.lock()
-	defer s.mu.Unlock()
-	s.resortInstances()
-	s.publishLocked()
+	d := &s.dom
+	d.lock()
+	defer d.unlock()
+	d.resortInstances()
 }
 
 // snapshot returns the published cache snapshot: one atomic load, no
@@ -718,7 +715,7 @@ func (s *SCR) maybeResort() {
 // and stays valid indefinitely — writers publish replacements, they never
 // touch published state.
 func (s *SCR) snapshot() *cacheSnapshot {
-	return s.snap.Load()
+	return s.dom.snap.Load()
 }
 
 // readPath runs getPlan against the published snapshot, returning the
@@ -1024,125 +1021,6 @@ func (s *SCR) getPlan(ctx context.Context, sv []float64, snap *cacheSnapshot) (*
 	return nil, nil
 }
 
-// addInstance appends an instance entry. Caller holds the write lock.
-func (s *SCR) addInstance(e *instanceEntry) {
-	s.instances = append(s.instances, e)
-}
-
-// manageCache is Algorithm 2: record the optimized instance, running the
-// redundancy check for genuinely new plans and enforcing the plan budget.
-// epoch is the statistics generation optCost was derived under. Caller
-// holds the write lock.
-func (s *SCR) manageCache(sv []float64, cp *engine.CachedPlan, optCost float64, epoch uint64) error {
-	// Publish on every exit: even an error path may have mutated master
-	// state (e.g. an eviction before the failure), and readers must see it.
-	defer s.publishLocked()
-	v := make([]float64, len(sv))
-	copy(v, sv)
-	fp := cp.Fingerprint()
-
-	if pe, ok := s.plans[fp]; ok {
-		// Plan already cached: extend its inference region with this
-		// instance.
-		s.addInstance(newInstance(v, pe, optCost, 1, 1, epoch))
-		return nil
-	}
-
-	// New plan: redundancy check against the cached plans. The check
-	// compares optCost against recosts made under the *current* epoch, so
-	// it is only sound when the generation has not advanced since the
-	// optimizer call; after a mid-flight advance the plan is stored
-	// directly (always sound — the check is an optimization).
-	if !s.cfg.StoreAlways && len(s.plans) > 0 && epoch == s.statsEpoch() {
-		minPE, minCost, err := s.minCostPlan(sv)
-		if err != nil {
-			return err
-		}
-		sMin := minCost / optCost
-		if sMin <= s.cfg.lambdaR() {
-			// Redundant: discard the new plan, bind the instance to the
-			// cheapest existing plan with its sub-optimality.
-			s.ctr.redundantPlans.Add(1)
-			s.addInstance(newInstance(v, minPE, optCost, sMin, 1, epoch))
-			return nil
-		}
-	}
-
-	if s.cfg.PlanBudget > 0 && len(s.plans) >= s.cfg.PlanBudget {
-		s.evictLFU()
-	}
-	pe := &planEntry{cp: cp, fp: fp}
-	s.plans[fp] = pe
-	s.addInstance(newInstance(v, pe, optCost, 1, 1, epoch))
-	if n := int64(len(s.plans)); n > s.maxPlans.Load() {
-		s.maxPlans.Store(n)
-	}
-	return nil
-}
-
-// minCostPlan recosts every cached plan at sv and returns the cheapest
-// (getMinCostPlan of Algorithm 2). These recosts happen off the critical
-// path and are counted separately.
-func (s *SCR) minCostPlan(sv []float64) (*planEntry, float64, error) {
-	var (
-		best     *planEntry
-		bestCost = math.Inf(1)
-	)
-	// Batch: one prepared instance across every cached plan's recost.
-	pi := s.prepareRecost(sv)
-	defer pi.Release()
-	// Iterate in deterministic order for reproducibility.
-	for _, fp := range s.sortedPlanFPs() {
-		pe := s.plans[fp]
-		c, err := s.recostWith(pi, pe.cp, sv)
-		if err != nil {
-			return nil, 0, err
-		}
-		s.ctr.manageRecosts.Add(1)
-		if c < bestCost {
-			best, bestCost = pe, c
-		}
-	}
-	return best, bestCost, nil
-}
-
-// evictLFU drops the plan with the lowest aggregate usage count and removes
-// every instance entry pointing to it, preserving the λ-optimality
-// guarantee (§6.3.1). Caller holds the write lock.
-func (s *SCR) evictLFU() {
-	usage := make(map[*planEntry]int64, len(s.plans))
-	for _, e := range s.instances {
-		usage[e.pp] += e.u.Load()
-	}
-	var (
-		victim    *planEntry
-		victimUse = int64(math.MaxInt64)
-	)
-	for _, fp := range s.sortedPlanFPs() {
-		pe := s.plans[fp]
-		if u := usage[pe]; u < victimUse {
-			victim, victimUse = pe, u
-		}
-	}
-	if victim == nil {
-		return
-	}
-	delete(s.plans, victim.fp)
-	// Master slices are never shared with a published snapshot
-	// (publishLocked copies), so filtering in place is safe.
-	kept := s.instances[:0]
-	for _, e := range s.instances {
-		if e.pp != victim {
-			kept = append(kept, e)
-		}
-	}
-	for i := len(kept); i < len(s.instances); i++ {
-		s.instances[i] = nil // release dropped entries to the GC
-	}
-	s.instances = kept
-	s.ctr.evictions.Add(1)
-}
-
 // ProbeCheck classifies how getPlan would serve an instance at sv — by the
 // selectivity check, the cost check, or an optimizer call — WITHOUT
 // mutating usage counters, quarantine flags or statistics. It is a
@@ -1213,110 +1091,16 @@ func (s *SCR) NumInstances() int {
 // redundancy against the remaining plans and drops those whose instances
 // can all be served λ-optimally by alternatives. Plans are examined in
 // increasing order of instance count. It returns the number of plans
-// dropped. The sweep is intended to run off the critical path; it holds the
-// write lock for its duration.
+// dropped. The sweep is intended to run off the critical path; it holds
+// this template's domain mutex for its duration, and the per-removal
+// publication marks coalesce into a single publish when the sweep's
+// critical section ends — readers see either the pre-sweep cache or the
+// swept one, never k intermediate republications.
 func (s *SCR) SweepRedundantPlans() (int, error) {
-	s.lock()
-	defer s.mu.Unlock()
-
-	dropped := 0
-	for {
-		// Order plans by ascending instance count (cheapest to verify and
-		// most likely redundant, per Appendix F).
-		count := make(map[*planEntry]int, len(s.plans))
-		for _, e := range s.instances {
-			count[e.pp]++
-		}
-		ordered := make([]*planEntry, 0, len(s.plans))
-		for _, pe := range s.plans {
-			ordered = append(ordered, pe)
-		}
-		sort.Slice(ordered, func(i, j int) bool {
-			if count[ordered[i]] != count[ordered[j]] {
-				return count[ordered[i]] < count[ordered[j]]
-			}
-			return ordered[i].fp < ordered[j].fp
-		})
-		removedOne := false
-		for _, pe := range ordered {
-			if len(s.plans) <= 1 {
-				break
-			}
-			ok, rebound, err := s.planIsRedundant(pe)
-			if err != nil {
-				return dropped, err
-			}
-			if !ok {
-				continue
-			}
-			delete(s.plans, pe.fp)
-			kept := make([]*instanceEntry, 0, len(s.instances))
-			for _, e := range s.instances {
-				if e.pp != pe {
-					kept = append(kept, e)
-				}
-			}
-			s.instances = append(kept, rebound...)
-			s.publishLocked()
-			dropped++
-			removedOne = true
-			break // re-derive counts after each removal
-		}
-		if !removedOne {
-			return dropped, nil
-		}
-	}
-}
-
-// planIsRedundant checks whether every instance bound to pe has an
-// alternative λ-optimal plan among the other cached plans; if so it returns
-// replacement instance entries bound to those alternatives.
-func (s *SCR) planIsRedundant(pe *planEntry) (bool, []*instanceEntry, error) {
-	var rebound []*instanceEntry
-	cur := s.statsEpoch()
-	for _, e := range s.instances {
-		if e.pp != pe {
-			continue
-		}
-		if e.anc.Load().epoch != cur {
-			// A lagging anchor cannot be compared against current-epoch
-			// recosts; the plan is not sweepable until revalidated.
-			return false, nil, nil
-		}
-		var (
-			alt     *planEntry
-			altCost = math.Inf(1)
-		)
-		// Batch per bound instance: its vector is fixed across the recosts
-		// of every alternative plan.
-		pi := s.prepareRecost(e.v)
-		for _, fp := range s.sortedPlanFPs() {
-			other := s.plans[fp]
-			if other == pe {
-				continue
-			}
-			c, err := s.recostWith(pi, other.cp, e.v)
-			if err != nil {
-				pi.Release()
-				return false, nil, err
-			}
-			s.ctr.manageRecosts.Add(1)
-			if c < altCost {
-				alt, altCost = other, c
-			}
-		}
-		pi.Release()
-		if alt == nil {
-			return false, nil, nil
-		}
-		a := e.anc.Load()
-		sAlt := altCost / a.c
-		if sAlt > s.cfg.lambdaFor(a.c) {
-			return false, nil, nil
-		}
-		rebound = append(rebound, newInstance(e.v, alt, a.c, sAlt, e.u.Load(), a.epoch))
-	}
-	return true, rebound, nil
+	d := &s.dom
+	d.lock()
+	defer d.unlock()
+	return d.sweepLocked()
 }
 
 // SeedInstance pre-populates the plan cache with an externally discovered
@@ -1341,23 +1125,8 @@ func (s *SCR) SeedInstance(sv []float64, cp *engine.CachedPlan, optCost, subOpt 
 	if optCost <= 0 || subOpt < 1 || math.IsNaN(optCost) || math.IsNaN(subOpt) {
 		return fmt.Errorf("core: seed with invalid optCost=%v subOpt=%v", optCost, subOpt)
 	}
-	s.lock()
-	defer s.mu.Unlock()
-	fp := cp.Fingerprint()
-	pe, ok := s.plans[fp]
-	if !ok {
-		if s.cfg.PlanBudget > 0 && len(s.plans) >= s.cfg.PlanBudget {
-			return fmt.Errorf("%w: seeding would exceed the plan budget %d", ErrBudgetExhausted, s.cfg.PlanBudget)
-		}
-		pe = &planEntry{cp: cp, fp: fp}
-		s.plans[fp] = pe
-		if n := int64(len(s.plans)); n > s.maxPlans.Load() {
-			s.maxPlans.Store(n)
-		}
-	}
-	v := make([]float64, len(sv))
-	copy(v, sv)
-	s.addInstance(newInstance(v, pe, optCost, subOpt, 0, s.statsEpoch()))
-	s.publishLocked()
-	return nil
+	d := &s.dom
+	d.lock()
+	defer d.unlock()
+	return d.seedLocked(sv, cp, optCost, subOpt)
 }

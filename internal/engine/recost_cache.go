@@ -54,7 +54,18 @@ type recostCache struct {
 }
 
 func (c *recostCache) shardFor(k recostKey) *recostShard {
-	return &c.shards[k.svh&(recostShards-1)]
+	// Mix the plan fingerprint into the shard choice (FNV-1a, allocation
+	// free). Under per-template write domains many templates recost
+	// distinct plan sets at similar vectors concurrently; sharding on the
+	// vector hash alone funnels those templates onto the same shard locks,
+	// while fingerprint mixing gives each (plan, vector) pair an
+	// independent shard and keeps cross-template contention flat.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.fp); i++ {
+		h ^= uint64(k.fp[i])
+		h *= 1099511628211
+	}
+	return &c.shards[(h^k.svh)&(recostShards-1)]
 }
 
 func svEqual(a, b []float64) bool {

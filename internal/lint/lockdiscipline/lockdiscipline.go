@@ -212,8 +212,10 @@ func checkHotPath(pass *analysis.Pass, ins *inspector.Inspector) {
 
 // classify returns the mutexOp for call, or ok=false if it is not a lock
 // operation. Recognized: methods Lock/RLock/Unlock/RUnlock on sync.Mutex /
-// sync.RWMutex values (usually fields), and this repo's lock-wait-counting
-// wrappers lock()/rlock() on a receiver owning such a mutex.
+// sync.RWMutex values (usually fields), and this repo's wrapper methods
+// lock()/rlock() (lock-wait-counting acquires) and unlock()/runlock()
+// (releases — the write-domain unlock also flushes the pending snapshot
+// publication) on a receiver owning such a mutex.
 func classify(pass *analysis.Pass, call *ast.CallExpr, deferred bool) (mutexOp, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -232,6 +234,9 @@ func classify(pass *analysis.Pass, call *ast.CallExpr, deferred bool) (mutexOp, 
 		op.acquire = true
 	case "rlock":
 		op.acquire, op.read = true, true
+	case "unlock":
+	case "runlock":
+		op.read = true
 	default:
 		return mutexOp{}, false
 	}

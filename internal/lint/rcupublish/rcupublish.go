@@ -19,6 +19,19 @@
 //     may publish between them, and the operation acts on two different
 //     cache states. Loads made on behalf of the writer path (functions
 //     that themselves publish) do not count against their callers.
+//  4. Coalesced publication (owners with a flushLocked method): the
+//     publishLocked mark defers the snapshot rebuild to flushLocked, and
+//     the domain's unlock method must flush on every path before
+//     releasing the mutex — otherwise mutations marked mid-section stay
+//     invisible to readers after the critical section ends. flushLocked
+//     is deliberately NOT a publish point for rule 1: a flush without a
+//     mark is a no-op, so only the mark proves the mutation will ever be
+//     published.
+//  5. Per-domain write discipline: master fields may only be stored
+//     through the owning domain's receiver. A store that reaches another
+//     domain's master state (a "cross-domain store") bypasses that
+//     domain's mutex and publication protocol and is reported wherever
+//     it appears.
 //
 // The analyzer is structural, not name-bound: any package type with a
 // publishLocked method and an atomic.Pointer snapshot field is checked,
@@ -38,7 +51,15 @@ import (
 	"repro/internal/lint/ssalite"
 )
 
-const publishName = "publishLocked"
+const (
+	publishName = "publishLocked"
+	// flushName is the deferred-rebuild half of coalesced publication:
+	// publishLocked marks, flushLocked (when the owner has one) rebuilds
+	// and stores the snapshot. unlockName is the critical-section exit
+	// that must flush.
+	flushName  = "flushLocked"
+	unlockName = "unlock"
+)
 
 var Analyzer = &analysis.Analyzer{
 	Name:     "rcupublish",
@@ -52,6 +73,8 @@ func run(pass *analysis.Pass) (any, error) {
 	ssa := pass.ResultOf[ssalite.Analyzer].(*ssalite.SSA)
 	for _, o := range findOwners(pass, ssa) {
 		o.checkPublish()
+		o.checkUnlockFlush()
+		o.checkCrossDomain()
 		o.checkEscape()
 		o.checkSingleLoad()
 	}
@@ -66,6 +89,10 @@ type owner struct {
 	ssa     *ssalite.SSA
 	typ     *types.Named
 	publish *ssalite.Function
+	// flush is the owner's flushLocked method when publication is
+	// coalesced (publishLocked marks, flushLocked rebuilds); nil for
+	// owners that publish eagerly.
+	flush *ssalite.Function
 	// methods are the owner's non-test methods, publish included.
 	methods []*ssalite.Function
 	byName  map[string]*ssalite.Function
@@ -100,6 +127,7 @@ func findOwners(pass *analysis.Pass, ssa *ssalite.SSA) []*owner {
 			o.methods = append(o.methods, m)
 			o.byName[m.Name] = m
 		}
+		o.flush = o.byName[flushName]
 		o.findMaster()
 		o.findSnapTypes()
 		owners = append(owners, o)
@@ -107,22 +135,29 @@ func findOwners(pass *analysis.Pass, ssa *ssalite.SSA) []*owner {
 	return owners
 }
 
-// findMaster collects the owner fields publishLocked reads: those are the
-// master state the snapshot is rebuilt from. Fields of sync/atomic types
-// are excluded — the snapshot pointer itself, counters — since they have
-// their own publication semantics.
+// findMaster collects the owner fields publishLocked (and, under
+// coalescing, flushLocked — the half that actually rebuilds) reads: those
+// are the master state the snapshot is rebuilt from. Fields of sync/atomic
+// types are excluded — the snapshot pointer itself, counters — since they
+// have their own publication semantics.
 func (o *owner) findMaster() {
 	st := structOf(o.typ)
-	o.publish.Instrs(func(in ssalite.Instruction) {
-		fa, ok := in.(*ssalite.FieldAddr)
-		if !ok || fa.Field == nil || !derivesFromRecv(fa.X, o.publish) {
-			return
-		}
-		if !isStructField(st, fa.Field) || isAtomicType(fa.Field.Type()) {
-			return
-		}
-		o.master[fa.Field] = true
-	})
+	scan := func(fn *ssalite.Function) {
+		fn.Instrs(func(in ssalite.Instruction) {
+			fa, ok := in.(*ssalite.FieldAddr)
+			if !ok || fa.Field == nil || !derivesFromRecv(fa.X, fn) {
+				return
+			}
+			if !isStructField(st, fa.Field) || isAtomicType(fa.Field.Type()) {
+				return
+			}
+			o.master[fa.Field] = true
+		})
+	}
+	scan(o.publish)
+	if o.flush != nil {
+		scan(o.flush)
+	}
 }
 
 func (o *owner) findSnapTypes() {
@@ -249,10 +284,12 @@ func (o *owner) checkPublish() {
 
 // mutationScanScope is every non-test function of the package that can
 // mutate this owner's master state: its methods plus function literals.
+// flushLocked is excluded like publishLocked — its bookkeeping stores
+// (clearing the structural flag) are part of publication itself.
 func (o *owner) mutationScanScope() []*ssalite.Function {
 	var out []*ssalite.Function
 	for _, fn := range o.ssa.Funcs {
-		if fn == o.publish || fn.Incomplete || len(fn.Blocks) == 0 {
+		if fn == o.publish || fn == o.flush || fn.Incomplete || len(fn.Blocks) == 0 {
 			continue
 		}
 		pos := funcPos(fn)
@@ -324,6 +361,99 @@ func (o *owner) masterRoot(v ssalite.Value, fn *ssalite.Function, depth int) *ty
 		return o.masterRoot(v.X, fn, depth+1)
 	case *ssalite.Append:
 		return o.masterRoot(v.Slice, fn, depth+1)
+	}
+	return nil
+}
+
+// ---- check 4: unlock must flush pending publications ----
+
+// checkUnlockFlush enforces the coalescing contract: for an owner whose
+// publication is deferred (it has a flushLocked method), the unlock method
+// — the end of every writer critical section — must call flushLocked on
+// every path from entry to return. Without it, mutations whose marks were
+// coalesced mid-section would outlive the critical section unpublished,
+// breaking the "readers lag at most one mutation batch" bound.
+func (o *owner) checkUnlockFlush() {
+	if o.flush == nil {
+		return
+	}
+	u := o.byName[unlockName]
+	if u == nil {
+		return
+	}
+	isFlushPoint := func(in ssalite.Instruction) bool {
+		c, ok := in.(*ssalite.Call)
+		return ok && (c.CalleeName() == flushName || c.CalleeName() == publishName)
+	}
+	if !ssalite.MustReachFromEntry(u, isFlushPoint) {
+		lintutil.Report(o.pass, u.Decl.Pos(),
+			"%s.unlock releases the domain mutex without calling flushLocked on every path: coalesced publication marks would outlive the critical section unpublished",
+			o.typ.Obj().Name())
+	}
+}
+
+// ---- check 5: no cross-domain stores ----
+
+// checkCrossDomain reports stores into an owner's master state that do not
+// go through that domain's own receiver: a method of another type (or a
+// plain function) reaching into someDomain.instances bypasses the domain
+// mutex/publication discipline even if the enclosing code holds some other
+// lock. Function literals are skipped — they have no receiver, so the
+// derivation test cannot distinguish a captured owner receiver from a
+// foreign domain; their mutations are still covered by rule 1's scan.
+func (o *owner) checkCrossDomain() {
+	for _, fn := range o.ssa.Funcs {
+		if fn.Decl == nil || fn.Incomplete || fn == o.publish || fn == o.flush {
+			continue
+		}
+		if lintutil.InTestFile(o.pass, fn.Decl.Pos()) {
+			continue
+		}
+		fn.Instrs(func(in ssalite.Instruction) {
+			var addr ssalite.Value
+			switch in := in.(type) {
+			case *ssalite.Store:
+				addr = in.Addr
+			case *ssalite.MapUpdate:
+				addr = in.Map
+			case *ssalite.MapDelete:
+				addr = in.Map
+			default:
+				return
+			}
+			if f := o.foreignMasterRoot(addr, fn, 0); f != nil {
+				lintutil.Report(o.pass, in.Pos(),
+					"cross-domain store to %s.%s: master state may only be mutated through its own domain's methods (the store bypasses that domain's mutex and publication)",
+					o.typ.Obj().Name(), f.Name())
+			}
+		})
+	}
+}
+
+// foreignMasterRoot walks an address (or map value) back to a master field
+// access and returns the field when the access does NOT derive from fn's
+// receiver — i.e. it reaches into a foreign domain.
+func (o *owner) foreignMasterRoot(v ssalite.Value, fn *ssalite.Function, depth int) *types.Var {
+	if depth > 32 {
+		return nil
+	}
+	switch v := v.(type) {
+	case *ssalite.FieldAddr:
+		if v.Field != nil && o.master[v.Field] {
+			if derivesFromRecv(v.X, fn) {
+				return nil
+			}
+			return v.Field
+		}
+		return o.foreignMasterRoot(v.X, fn, depth+1)
+	case *ssalite.IndexAddr:
+		return o.foreignMasterRoot(v.X, fn, depth+1)
+	case *ssalite.Load:
+		return o.foreignMasterRoot(v.Addr, fn, depth+1)
+	case *ssalite.Slice:
+		return o.foreignMasterRoot(v.X, fn, depth+1)
+	case *ssalite.Append:
+		return o.foreignMasterRoot(v.Slice, fn, depth+1)
 	}
 	return nil
 }
@@ -527,9 +657,10 @@ func (o *owner) checkSingleLoad() {
 	}
 	// Writer-side functions publish (directly or transitively); their
 	// snapshot loads serve the version bump, not a read decision, and do
-	// not count against callers.
+	// not count against callers. Under coalescing, flushLocked is the
+	// rebuild half of publication and is writer-side too.
 	writerSide := func(fn *ssalite.Function) bool {
-		if fn == o.publish {
+		if fn == o.publish || (o.flush != nil && fn == o.flush) {
 			return true
 		}
 		found := false
@@ -568,7 +699,15 @@ func (o *owner) checkSingleLoad() {
 				s.sites = append(s.sites, in)
 				return
 			}
-			callee := o.byName[c.CalleeName()]
+			// Resolve any same-package declared callee (not just the
+			// owner's methods): with per-template domains the read path
+			// crosses type boundaries — SCR methods call domain and
+			// directory helpers — and a load hidden behind any of them
+			// still counts toward the caller's operation.
+			var callee *ssalite.Function
+			if c.Callee != nil {
+				callee = o.ssa.DeclFunc[c.Callee]
+			}
 			if callee == nil || callee == fn || writerSide(callee) {
 				return
 			}

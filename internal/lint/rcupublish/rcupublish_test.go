@@ -17,3 +17,11 @@ func TestRCUPublish(t *testing.T) {
 func TestSeededRegression(t *testing.T) {
 	linttest.Run(t, rcupublish.Analyzer, "rcuseed")
 }
+
+// TestSeededShardedRegression proves the coalescing-era checks catch their
+// defect classes: a missed publication mark on state only flushLocked
+// reads, an unlock that forgets to flush, and a cross-domain store that
+// bypasses another domain's mutex and publication.
+func TestSeededShardedRegression(t *testing.T) {
+	linttest.Run(t, rcupublish.Analyzer, "rcusharded")
+}

@@ -1,0 +1,101 @@
+// Package rcusharded seeds regressions for the sharded, coalescing RCU
+// write path: a mini write-domain whose publishLocked only marks and
+// whose flushLocked rebuilds. Three defect classes are re-introduced on
+// purpose:
+//
+//   - a domain helper that mutates master state read only by flushLocked
+//     (not publishLocked) and forgets its publication mark — catchable
+//     only because the analyzer learns master state from BOTH halves of
+//     coalesced publication;
+//   - an unlock that releases the mutex without flushing, so coalesced
+//     marks outlive the critical section unpublished;
+//   - a method of another type storing straight into a foreign domain's
+//     master state, bypassing its mutex and publication.
+package rcusharded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type entry struct {
+	key  string
+	cost float64
+}
+
+type snapshot struct {
+	entries []*entry
+	version uint64
+}
+
+type domain struct {
+	mu      sync.Mutex
+	entries []*entry
+	dirty   bool
+	pending atomic.Int64
+	snap    atomic.Pointer[snapshot]
+}
+
+// publishLocked is the coalescing mark: it defers the rebuild to
+// flushLocked.
+func (d *domain) publishLocked() {
+	if d.pending.Add(1) >= 8 {
+		d.flushLocked()
+	}
+}
+
+// flushLocked rebuilds the snapshot from the master state — entries and
+// the dirty flag are what the analyzer must learn as master here, since
+// publishLocked itself reads none of them.
+func (d *domain) flushLocked() {
+	if d.pending.Swap(0) == 0 {
+		return
+	}
+	es := make([]*entry, len(d.entries))
+	copy(es, d.entries)
+	v := uint64(1)
+	if prev := d.snap.Load(); prev != nil {
+		v = prev.version + 1
+	}
+	d.dirty = false
+	d.snap.Store(&snapshot{entries: es, version: v})
+}
+
+// unlock releases the mutex but LOST its flushLocked call — the seeded
+// coalescing bug: marks accumulated mid-section never publish.
+func (d *domain) unlock() { // want `domain\.unlock releases the domain mutex without calling flushLocked`
+	d.mu.Unlock()
+}
+
+// Add marks its mutation correctly; the broken unlock is reported at the
+// unlock itself, not here.
+func (d *domain) Add(e *entry) {
+	d.mu.Lock()
+	defer d.unlock()
+	d.entries = append(d.entries, e)
+	d.dirty = true
+	d.publishLocked()
+}
+
+// Drop mutates master state flushLocked (not publishLocked) reads and
+// forgets the publication mark entirely.
+func (d *domain) Drop(n int) {
+	d.mu.Lock()
+	defer d.unlock()
+	d.entries = d.entries[:n] // want `mutation of master state domain\.entries is not followed by publishLocked`
+	d.dirty = true            // want `mutation of master state domain\.dirty is not followed by publishLocked`
+}
+
+// registry maps names to domains; its methods must never reach into a
+// domain's master state directly.
+type registry struct {
+	domains map[string]*domain
+}
+
+// Purge is the seeded cross-domain store: it empties another domain's
+// entry list without holding that domain's mutex or publishing.
+func (r *registry) Purge(name string) {
+	d := r.domains[name]
+	d.entries = nil // want `cross-domain store to domain\.entries`
+	d.dirty = true  // want `cross-domain store to domain\.dirty`
+}

@@ -177,18 +177,16 @@ func (s *Server) advanceGeneration(ctx context.Context, sys *pqo.System, reasonP
 
 	// Revalidation outlives the install request: detach from its deadline
 	// and cancellation while keeping its values (trace metadata etc.).
+	// The directory fans every template's lag into one shared worker pool,
+	// interleaved usage-weighted across domains (hottest lag revalidates
+	// first) and cheapest-first within each; templates over engines with
+	// no epoch lifecycle are skipped inside.
 	detached := context.WithoutCancel(ctx)
-	revals := make(map[string]*pqo.Revalidation)
-	for _, e := range s.snapshotEntries() {
-		run, err := e.scr.Revalidate(detached, workers)
-		if err != nil {
-			// ErrEpochUnsupported: a template registered over a foreign
-			// engine; its cache simply has no epoch lifecycle to catch up.
-			s.logf("revalidation skipped for %s: %v", e.name, err)
-			continue
-		}
-		revals[e.name] = run
+	revals, err := s.dir.Revalidate(detached, workers)
+	if err != nil {
+		return nil, http.StatusInternalServerError, "", err
 	}
+	s.logf("revalidation started for %d of %d templates", len(revals), s.dir.Len())
 
 	s.appendEpochRecord(&epochRecord{
 		id: ep.ID, reason: reason, columns: columns, at: time.Now(), revals: revals,

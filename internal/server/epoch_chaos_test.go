@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -176,6 +177,31 @@ func TestChaosEpochAdvance(t *testing.T) {
 	st := scr.Stats()
 	if st.StatsEpoch != final {
 		t.Errorf("Stats().StatsEpoch = %d, want %d", st.StatsEpoch, final)
+	}
+
+	// The write-domain publication surface must have moved under this
+	// churn: the warmup and miss traffic published snapshots, and each
+	// revalidation's multi-mutation critical sections coalesced marks.
+	if st.WriteDomains != 1 {
+		t.Errorf("Stats().WriteDomains = %d, want 1", st.WriteDomains)
+	}
+	if st.PublishTotal == 0 {
+		t.Error("Stats().PublishTotal did not move across the chaos stream")
+	}
+	if st.PublishCoalesced == 0 {
+		t.Error("Stats().PublishCoalesced did not move — revalidation batches never coalesced")
+	}
+	wm := httptest.NewRecorder()
+	h.ServeHTTP(wm, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	mBody := wm.Body.String()
+	if got := promValue(t, mBody, "pqo_write_domains"); got != 1 {
+		t.Errorf("pqo_write_domains = %d, want 1", got)
+	}
+	if got := promValue(t, mBody, `pqo_publish_total{template="epoch"}`); got == 0 {
+		t.Error("pqo_publish_total did not move")
+	}
+	if got := promValue(t, mBody, `pqo_publish_coalesced_total{template="epoch"}`); got == 0 {
+		t.Error("pqo_publish_coalesced_total did not move")
 	}
 	t.Logf("epoch chaos: %d ok across epochs %v, %d degraded (%d epoch-lag flagged), %d faults injected, final epoch %d",
 		ok, okByEpoch, degraded, lagFlagged, inj.Injected(), final)

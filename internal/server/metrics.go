@@ -145,6 +145,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.EpochLagFallbacks) }},
 		{"pqo_write_lock_wait_seconds_total", "Cumulative time waiting for the cache write lock.",
 			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.WriteLockWait.Seconds()) }},
+		{"pqo_writer_wait_seconds_total", "Time writers waited to acquire this template's write-domain mutex (striped accumulation).",
+			func(st statsSnapshot) string { return fmt.Sprintf("%g", st.WriteLockWait.Seconds()) }},
+		{"pqo_publish_total", "RCU snapshot publications for this template's write domain.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.PublishTotal) }},
+		{"pqo_publish_coalesced_total", "Publication marks absorbed into a batched flush instead of publishing their own snapshot.",
+			func(st statsSnapshot) string { return fmt.Sprintf("%d", st.PublishCoalesced) }},
 	}
 	for _, sc := range scalars {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", sc.metric, sc.help, sc.metric, promType(sc.metric))
@@ -168,6 +174,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 				name, t.kind, t.count)
 		}
 	}
+
+	fmt.Fprintln(w, "# HELP pqo_write_domains Per-template RCU write domains attached to this server's directory.")
+	fmt.Fprintln(w, "# TYPE pqo_write_domains gauge")
+	fmt.Fprintf(w, "pqo_write_domains %d\n", s.dir.Stats().Domains)
 
 	fmt.Fprintln(w, "# HELP pqo_shed_total /plan requests shed with 429 because every in-flight slot stayed busy.")
 	fmt.Fprintln(w, "# TYPE pqo_shed_total counter")

@@ -101,6 +101,12 @@ type Server struct {
 	entries map[string]*entry
 	httpSrv *http.Server
 
+	// dir mirrors entries as a pqo.Directory of per-template write
+	// domains: epoch revalidation schedules across it (usage-weighted,
+	// one shared worker pool) and /metrics aggregates publication
+	// counters from it without stopping writers.
+	dir *pqo.Directory
+
 	// sem bounds in-flight /plan work when Config.MaxInFlight > 0; nil
 	// means unlimited. Acquiring is a buffered-channel send so the hot
 	// path pays one channel op when a slot is free.
@@ -135,7 +141,7 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
-	s := &Server{cfg: cfg, entries: make(map[string]*entry)}
+	s := &Server{cfg: cfg, entries: make(map[string]*entry), dir: pqo.NewDirectory()}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -175,6 +181,9 @@ func (s *Server) Register(name, sql string, eng pqo.Engine, scr *pqo.SCR) error 
 	defer s.mu.Unlock()
 	if _, dup := s.entries[name]; dup {
 		return fmt.Errorf("server: template %q already registered", name)
+	}
+	if err := s.dir.Attach(name, scr); err != nil {
+		return err
 	}
 	s.entries[name] = e
 	return nil
@@ -617,6 +626,9 @@ type StatsRow struct {
 	Recosts           int64   `json:"getPlanRecosts"`
 	Violations        int64   `json:"bcgViolations"`
 	WriteLockWaitUS   int64   `json:"writeLockWaitMicros"`
+	WriteDomains      int     `json:"writeDomains"`
+	PublishTotal      int64   `json:"publishTotal"`
+	PublishCoalesced  int64   `json:"publishCoalesced"`
 	RecostCacheHits   int64   `json:"recostCacheHits"`
 	RecostCacheMisses int64   `json:"recostCacheMisses"`
 	Degraded          int64   `json:"degradedDecisions"`
@@ -654,6 +666,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Plans: st.CurPlans, MemoryBytes: st.MemoryBytes,
 			Recosts: st.GetPlanRecosts, Violations: st.Violations,
 			WriteLockWaitUS:   st.WriteLockWait.Microseconds(),
+			WriteDomains:      st.WriteDomains,
+			PublishTotal:      st.PublishTotal,
+			PublishCoalesced:  st.PublishCoalesced,
 			RecostCacheHits:   st.RecostCacheHits,
 			RecostCacheMisses: st.RecostCacheMisses,
 			Degraded:          st.DegradedDecisions,

@@ -15,9 +15,12 @@
 //	dec, _ := scr.Process(ctx, []float64{0.02, 0.10})
 //
 // The SCR plan cache is safe for concurrent use: cache hits are served
-// under a shared read lock and concurrent misses for identical instances
-// share one optimizer call. Snapshots round-trip through SCR.Export /
-// SCR.Import.
+// lock-free off an immutable RCU snapshot, writers serialize on a
+// per-template write domain with coalesced snapshot publication, and
+// concurrent misses for identical instances share one optimizer call.
+// A Directory groups many templates' SCRs so multi-template deployments
+// revalidate and aggregate statistics without stop-the-world pauses.
+// Snapshots round-trip through SCR.Export / SCR.Import.
 package pqo
 
 import (
@@ -72,6 +75,14 @@ type (
 	Revalidation = core.Revalidation
 	// RevalidationProgress is a point-in-time snapshot of a run's counters.
 	RevalidationProgress = core.RevalidationProgress
+	// Directory groups per-template SCRs behind a lock-free name lookup;
+	// each template is its own write domain, so writers to different
+	// templates never contend and revalidation schedules across domains
+	// usage-weighted.
+	Directory = core.Directory
+	// DirectoryStats aggregates Stats-level counters across a Directory's
+	// domains without stopping writers.
+	DirectoryStats = core.DirectoryStats
 	// Epoch is one statistics generation: a monotonic id plus the
 	// immutable statistics store it names.
 	Epoch = stats.Epoch
@@ -155,7 +166,16 @@ var (
 	WithOptimizerDeadline   = core.WithOptimizerDeadline
 	WithCircuitBreaker      = core.WithCircuitBreaker
 	WithClusterSkewBound    = core.WithClusterSkewBound
+	// Benchmark-baseline knobs: force all SCRs onto one shared writer
+	// mutex / publish every mutation eagerly, reconstructing the
+	// pre-sharding write path for comparison runs.
+	WithSharedWriteLock = core.WithSharedWriteLock
+	WithEagerPublish    = core.WithEagerPublish
 )
+
+// NewDirectory returns an empty template directory; attach each
+// template's SCR under its template name.
+func NewDirectory() *Directory { return core.NewDirectory() }
 
 // InspectSnapshot parses an SCR.Export-produced snapshot and returns its
 // summary without needing an engine.

@@ -3,6 +3,19 @@
 #
 #   ./scripts/bench_scaling.sh           # full sweep -> BENCH_PR7.json
 #   ./scripts/bench_scaling.sh -smoke    # fast {1, N} pair, no json output
+#   ./scripts/bench_scaling.sh -write    # write-heavy sweep -> BENCH_PR10.json
+#
+# Write mode sweeps BenchmarkProcessWriteHeavy (8 templates, ~30% store
+# traffic, background epoch revalidation) across the sharded write path
+# and the reconstructed unsharded baseline (one shared writer mutex +
+# eager per-mutation publication), emits BENCH_PR10.json, and enforces
+# the PR10 acceptance gates:
+#   - sharded throughput >= 2x the unsharded baseline at 16 procs,
+#   - the rcu read path stayed within 1.1x of its BENCH_PR7.json point
+#     at the same proc count (sharding must not tax readers),
+#   - rcu read-path allocs/op still within the 2-alloc budget.
+# Smoke mode additionally runs a single write-heavy pair and fails if
+# sharding stops paying at all (< 1.25x) — check.sh -bench runs it.
 #
 # Full mode sweeps BenchmarkProcessParallel/rcu across GOMAXPROCS in powers
 # of two up to max(16, NumCPU), emits the curve to BENCH_PR7.json, and
@@ -28,6 +41,8 @@ cd "$(dirname "$0")/.."
 PR2_REF=8959        # BenchmarkProcessParallel/rwmutex ns/op, frozen at PR2
 ALLOC_BUDGET=2      # hit-path allocs/op (TestProcessHitPathAllocBudget)
 JITTER=1.05         # monotonicity allowance between adjacent sweep points
+WRITE_SPEEDUP=2     # sharded vs unsharded write-heavy gate at 16 procs
+READ_JITTER=1.10    # allowed rcu read-path drift vs the BENCH_PR7.json point
 
 NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
@@ -55,7 +70,120 @@ if [ "${1:-}" = "-smoke" ]; then
             exit 1
         }
     }' "$OUT"
+    # Write-heavy pair: the sharded write path must still beat the
+    # reconstructed unsharded baseline by a clear margin (the full gate
+    # is 2x in -write mode; smoke only catches it collapsing).
+    go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessWriteHeavy' \
+        -cpu "$HI" -benchtime 1000x -count 2 | tee "$OUT"
+    awk -v hi="$HI" '
+    $1 ~ /^BenchmarkProcessWriteHeavy\/(sharded|unsharded)(-[0-9]+)?$/ && $4 == "ns/op" {
+        v = ($1 ~ /unsharded/) ? "unsharded" : "sharded"
+        if (!(v in ns) || $3 + 0 < ns[v]) ns[v] = $3 + 0
+    }
+    END {
+        if (!("sharded" in ns) || !("unsharded" in ns)) { print "bench_scaling.sh: missing write-heavy samples"; exit 1 }
+        ratio = ns["unsharded"] / ns["sharded"]
+        printf "bench_scaling.sh: write-heavy sharded %d ns/op vs unsharded %d ns/op (%.2fx) @%d procs\n", ns["sharded"], ns["unsharded"], ratio, hi
+        if (ratio < 1.25) {
+            printf "bench_scaling.sh: FAIL — sharded write path stopped paying (< 1.25x at %d procs)\n", hi
+            exit 1
+        }
+    }' "$OUT"
     echo "bench_scaling.sh: smoke ok"
+    exit 0
+fi
+
+if [ "${1:-}" = "-write" ]; then
+    WRITE_HI=16
+    [ "$NCPU" -gt "$WRITE_HI" ] && WRITE_HI=$NCPU
+    go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessWriteHeavy' \
+        -cpu "1,4,$WRITE_HI" -benchmem -benchtime 5000x -count 3 | tee "$OUT"
+    # The read-path regression point: sharding the write path must not tax
+    # readers, so the rcu benchmark is re-run at the PR7 sweep's top proc
+    # count and held within READ_JITTER of the recorded BENCH_PR7.json value.
+    go test ./internal/core/ -run '^$' -bench 'BenchmarkProcessParallel$/rcu' \
+        -cpu "$WRITE_HI" -benchmem -benchtime 2000x -count 3 | tee -a "$OUT"
+    PR7_REF=$(awk -v hi="$WRITE_HI" -F'"' '$2 == hi && /ns_per_op/ {
+        line = $0; sub(/.*"ns_per_op": /, "", line); sub(/[,}].*/, "", line); print line; exit }' BENCH_PR7.json)
+    if [ -z "$PR7_REF" ]; then
+        echo "bench_scaling.sh: no BENCH_PR7.json point at $WRITE_HI procs" >&2
+        exit 1
+    fi
+
+    awk -v hi="$WRITE_HI" -v pr7="$PR7_REF" -v speedgate="$WRITE_SPEEDUP" \
+        -v readjitter="$READ_JITTER" -v budget="$ALLOC_BUDGET" '
+    function procs(name,   n) {
+        n = name
+        if (sub(/^.*-/, "", n) == 0) n = "1"
+        return n
+    }
+    $1 ~ /^BenchmarkProcessWriteHeavy\/(sharded|unsharded)(-[0-9]+)?$/ && /ns\/op/ {
+        v = ($1 ~ /unsharded/) ? "unsharded" : "sharded"
+        n = procs($1)
+        key = v SUBSEP n
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op" && (!(key in ns) || $(i-1) + 0 < ns[key])) {
+                ns[key] = $(i-1) + 0
+                for (j = i; j <= NF; j++) {
+                    if ($j == "B/op")      bytes[key]  = $(j-1) + 0
+                    if ($j == "allocs/op") allocs[key] = $(j-1) + 0
+                }
+            }
+        }
+        if (!((v, n) in seen)) { order[v, ++cnt[v]] = n; seen[v, n] = 1 }
+    }
+    $1 ~ /^BenchmarkProcessParallel\/rcu(-[0-9]+)?$/ && /ns\/op/ {
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op" && (rcu == 0 || $(i-1) + 0 < rcu)) {
+                rcu = $(i-1) + 0
+                for (j = i; j <= NF; j++) if ($j == "allocs/op") rcuallocs = $(j-1) + 0
+            }
+        }
+    }
+    END {
+        if (cnt["sharded"] == 0 || cnt["unsharded"] == 0 || rcu == 0) {
+            print "bench_scaling.sh: missing write-mode samples" > "/dev/stderr"; exit 1
+        }
+        if (!(("sharded", hi) in seen) || !(("unsharded", hi) in seen)) {
+            printf "bench_scaling.sh: no write-heavy samples at %d procs\n", hi > "/dev/stderr"; exit 1
+        }
+        speedup = ns["unsharded", hi] / ns["sharded", hi]
+        readratio = rcu / pr7
+        fail = 0
+        if (speedup < speedgate) {
+            printf "bench_scaling.sh: FAIL — sharded only %.2fx vs unsharded at %d procs, need >= %dx\n", speedup, hi, speedgate > "/dev/stderr"
+            fail = 1
+        }
+        if (readratio > readjitter) {
+            printf "bench_scaling.sh: FAIL — rcu read path %.2fx its BENCH_PR7.json point (%d vs %d ns/op), allowed %.2fx\n", readratio, rcu, pr7, readjitter > "/dev/stderr"
+            fail = 1
+        }
+        if (rcuallocs + 0 > budget) {
+            printf "bench_scaling.sh: FAIL — rcu %d allocs/op exceeds the %d-alloc budget\n", rcuallocs, budget > "/dev/stderr"
+            fail = 1
+        }
+        printf "{\n  \"pr\": 10,\n"
+        printf "  \"note\": \"BenchmarkProcessWriteHeavy: 8 templates, ~30%% store traffic, background epoch revalidation; sharded = per-template write domains with coalesced publication, unsharded = one shared writer mutex with eager per-mutation publication (the reconstructed pre-sharding write path)\",\n"
+        printf "  \"write_heavy\": {\n"
+        for (vi = 1; vi <= 2; vi++) {
+            v = (vi == 1) ? "sharded" : "unsharded"
+            printf "    \"%s\": {\n", v
+            for (i = 1; i <= cnt[v]; i++) {
+                n = order[v, i]
+                printf "      \"%s\": {\"ns_per_op\": %g, \"bytes_per_op\": %g, \"allocs_per_op\": %g}", n, ns[v, n], bytes[v, n], allocs[v, n]
+                printf (i < cnt[v]) ? ",\n" : "\n"
+            }
+            printf (vi < 2) ? "    },\n" : "    }\n"
+        }
+        printf "  },\n"
+        printf "  \"speedup_sharded_vs_unsharded_at_%s_procs\": %.2f,\n", hi, speedup
+        printf "  \"read_path\": {\"procs\": %d, \"ns_per_op\": %g, \"allocs_per_op\": %g, \"pr7_reference_ns_per_op\": %g, \"ratio_vs_pr7\": %.2f}\n}\n", hi, rcu, rcuallocs, pr7, readratio
+        if (fail) exit 1
+        printf "bench_scaling.sh: write-heavy %.2fx at %d procs, rcu read path %.2fx of its PR7 point, allocs within budget\n", speedup, hi, readratio > "/dev/stderr"
+    }' "$OUT" > BENCH_PR10.json
+
+    cat BENCH_PR10.json
+    echo "bench_scaling.sh: wrote BENCH_PR10.json"
     exit 0
 fi
 
